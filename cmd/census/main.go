@@ -1,0 +1,51 @@
+// Command census regenerates the paper's kernel-size accounting: the
+// starting inventory (44K lines in ring zero plus the 10K answering
+// service), the six re-engineering projects and their reductions, and
+// the entry-point statistics around the linker removal.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"multics/internal/census"
+)
+
+func main() {
+	entries := flag.Bool("entries", false, "also print entry-point statistics")
+	inventory := flag.Bool("inventory", false, "also print the module inventories")
+	flag.Parse()
+
+	tab := census.SizeTable()
+	fmt.Print(tab.String())
+
+	if *entries {
+		st := census.LinkerEntryStats()
+		fmt.Printf("\nEntry points (ring zero): %d, of which %d are user-callable gates\n", st.StartEntries, st.StartGates)
+		fmt.Printf("After linker removal:     %d entries (-%.1f%%), %d gates (-%.1f%%)\n",
+			st.AfterEntries, st.EntryDropPercent, st.AfterGates, st.GateDropPercent)
+		fmt.Printf("\nFile-store specialization of the finished kernel would remove at most another %.0f%%\n",
+			census.FileStoreSpecialization())
+	}
+	if *inventory {
+		fmt.Println("\nStarting inventory:")
+		printInv(census.StartInventory())
+		fmt.Println("\nFinal inventory:")
+		printInv(census.FinalInventory())
+	}
+	for _, p := range census.Projects() {
+		fmt.Printf("\n%s: %s\n", p.Name, p.Note)
+	}
+}
+
+func printInv(inv census.Inventory) {
+	for _, m := range inv.Modules {
+		state := "kernel"
+		if !m.InKernel {
+			state = "removed"
+		}
+		fmt.Printf("    %-26s %6d lines  ring %d  %3d entries  %2d gates  [%s]\n",
+			m.Name, m.Lines, m.Ring, m.Entries, m.UserGates, state)
+	}
+	fmt.Printf("    kernel total: %d lines (%d PL/I-equivalent)\n", inv.KernelLines(), inv.PLIEquivalentLines())
+}

@@ -1,0 +1,294 @@
+// Command kernelbench runs the performance comparisons of the paper's
+// evaluation against the deterministic cycle meter and prints
+// paper-claim versus measured-shape for each:
+//
+//	P1 linker in kernel vs user ring     (paper: somewhat slower out)
+//	P2 name manager in vs out            (paper: somewhat faster out)
+//	P3 answering service split           (paper: about 3% slower)
+//	P4 memory manager asm vs PL/I        (paper: code twice as slow)
+//	P5 page-fault path baseline vs new   (paper: negative, not significant)
+//	P6 quota static cell vs dynamic walk (depth sweep)
+//	P7 network kernel bulk per networks  (paper: linear vs nearly flat)
+//	P8 scheduler one-level vs two-level  (paper: about the same)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"multics/internal/aim"
+	"multics/internal/answering"
+	"multics/internal/baseline"
+	"multics/internal/core"
+	"multics/internal/directory"
+	"multics/internal/hw"
+	"multics/internal/linker"
+	"multics/internal/netmux"
+	"multics/internal/uproc"
+)
+
+func main() {
+	fmt.Println("kernelbench: deterministic simulated-cycle comparisons")
+	fmt.Println()
+	p1()
+	p2()
+	p3()
+	p4()
+	p5()
+	p6()
+	p7()
+	p8()
+}
+
+func bootKernel(mutate func(*core.Config)) *core.Kernel {
+	cfg := core.DefaultConfig()
+	cfg.RootQuota = 100000
+	cfg.Packs = []core.PackSpec{{ID: "dska", Records: 8192}, {ID: "dskb", Records: 8192}}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	k, err := core.Boot(cfg)
+	check(err)
+	return k
+}
+
+func bootBase(mutate func(*baseline.Config)) *baseline.Supervisor {
+	cfg := baseline.DefaultConfig()
+	cfg.RootQuota = 100000
+	cfg.Packs = cfg.Packs[:0]
+	cfg.Packs = append(cfg.Packs, struct {
+		ID      string
+		Records int
+	}{"dska", 8192}, struct {
+		ID      string
+		Records int
+	}{"dskb", 8192})
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := baseline.BootBaseline(cfg)
+	check(err)
+	return s
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kernelbench:", err)
+		os.Exit(1)
+	}
+}
+
+func ratio(a, b int64) string {
+	return fmt.Sprintf("%+.1f%%", 100*float64(a-b)/float64(b))
+}
+
+func p1() {
+	cost := func(mode linker.Mode) int64 {
+		k := bootKernel(nil)
+		p, err := k.CreateProcess("u.x", aim.Bottom)
+		check(err)
+		cpu := k.CPUs[0]
+		k.Attach(cpu, p)
+		_, err = k.CreateDir(cpu, p, nil, "lib", directory.Public(hw.Read|hw.Write), aim.Bottom)
+		check(err)
+		for i := 0; i < 32; i++ {
+			_, err = k.CreateFile(cpu, p, []string{"lib"}, fmt.Sprintf("s%d_", i), directory.Public(hw.Read|hw.Execute), aim.Bottom)
+			check(err)
+		}
+		l := linker.New(mode, k.Meter, func(sym string) (linker.Target, error) {
+			segno, err := k.OpenPath(cpu, p, []string{"lib", sym})
+			return linker.Target{Segno: segno}, err
+		})
+		k.Meter.Reset()
+		lk := linker.NewLinkage()
+		for i := 0; i < 32; i++ {
+			_, err := l.Reference(cpu, lk, fmt.Sprintf("s%d_", i))
+			check(err)
+		}
+		return k.Meter.Cycles() / 32
+	}
+	in, out := cost(linker.InKernel), cost(linker.UserRing)
+	fmt.Printf("P1 linker snap:        in-kernel %6d cyc, user-ring %6d cyc (%s)  [paper: somewhat slower when removed]\n",
+		in, out, ratio(out, in))
+}
+
+func p2() {
+	k := bootKernel(nil)
+	p, err := k.CreateProcess("u.x", aim.Bottom)
+	check(err)
+	cpu := k.CPUs[0]
+	k.Attach(cpu, p)
+	var path []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("d%d", i)
+		_, err := k.CreateDir(cpu, p, path, name, directory.Public(hw.Read|hw.Write), aim.Bottom)
+		check(err)
+		path = append(path, name)
+	}
+	_, err = k.CreateFile(cpu, p, path, "leaf", directory.Public(hw.Read), aim.Bottom)
+	check(err)
+	full := append(path, "leaf")
+	k.Meter.Reset()
+	for i := 0; i < 100; i++ {
+		_, err := k.WalkPath(cpu, p, full)
+		check(err)
+	}
+	walk := k.Meter.Cycles() / 100
+	k.Meter.Reset()
+	for i := 0; i < 100; i++ {
+		_, err := k.ResolveKernel(cpu, p, full)
+		check(err)
+	}
+	buried := k.Meter.Cycles() / 100
+	fmt.Printf("P2 pathname resolve:   in-kernel %6d cyc, user-ring %6d cyc (%s)  [paper: somewhat faster when removed]\n",
+		buried, walk, ratio(walk, buried))
+}
+
+func p3() {
+	cost := func(mode answering.Mode) int64 {
+		meter := &hw.CostMeter{}
+		svc := answering.New(mode, meter, func(string, aim.Label) (any, error) { return 1, nil })
+		check(svc.Register("u.x", "pw", aim.Top))
+		meter.Reset()
+		for i := 0; i < 50; i++ {
+			sess, err := svc.Login("u.x", "pw", aim.Bottom)
+			check(err)
+			check(svc.Logout(sess, 1))
+		}
+		return meter.Cycles() / 50
+	}
+	mono, split := cost(answering.Monolithic), cost(answering.Split)
+	fmt.Printf("P3 login:              monolithic %4d cyc, split %4d cyc (%s)  [paper: about 3%% slower]\n",
+		mono, split, ratio(split, mono))
+}
+
+func p4() {
+	fmt.Printf("P4 PL/I recode:        algorithm body x%.1f instructions (hw.BodyCycles model)  [paper: somewhat more than a factor of two]\n",
+		float64(hw.BodyCycles(1000, hw.PLI))/1000)
+}
+
+func faultStorm(k *core.Kernel) int64 {
+	p, err := k.CreateProcess("u.x", aim.Bottom)
+	check(err)
+	cpu := k.CPUs[0]
+	k.Attach(cpu, p)
+	_, err = k.CreateFile(cpu, p, nil, "hot", nil, aim.Bottom)
+	check(err)
+	segno, err := k.OpenPath(cpu, p, []string{"hot"})
+	check(err)
+	for i := 0; i < 32; i++ {
+		check(k.Write(cpu, p, segno, i*hw.PageWords, hw.Word(i+1)))
+	}
+	k.Meter.Reset()
+	for i := 0; i < 200; i++ {
+		_, err := k.Read(cpu, p, segno, (i%32)*hw.PageWords)
+		check(err)
+	}
+	return k.Meter.Cycles() / 200
+}
+
+func p5() {
+	s := bootBase(func(c *baseline.Config) { c.MemFrames = 24; c.WiredFrames = 8 })
+	check(s.Create("u.x", "hot", false))
+	p := s.CreateProcess("u.x")
+	cpu := s.CPUs[0]
+	s.Attach(cpu, p)
+	segno, err := s.Open(p, "hot")
+	check(err)
+	for i := 0; i < 32; i++ {
+		check(s.Write(cpu, p, segno, i*hw.PageWords, hw.Word(i+1)))
+	}
+	s.Meter.Reset()
+	for i := 0; i < 200; i++ {
+		_, err := s.Read(cpu, p, segno, (i%32)*hw.PageWords)
+		check(err)
+	}
+	base := s.Meter.Cycles() / 200
+	kern := faultStorm(bootKernel(func(c *core.Config) { c.MemFrames = 24; c.WiredFrames = 8 }))
+	fmt.Printf("P5 page-fault path:    1974 %5d cyc, kernel %5d cyc (%s)  [paper: negative, not significant]\n",
+		base, kern, ratio(kern, base))
+}
+
+func p6() {
+	fmt.Println("P6 quota growth (cycles per charged page):")
+	for _, depth := range []int{1, 2, 4, 8, 16} {
+		k := bootKernel(nil)
+		p, err := k.CreateProcess("u.x", aim.Bottom)
+		check(err)
+		cpu := k.CPUs[0]
+		k.Attach(cpu, p)
+		var path []string
+		for i := 0; i < depth; i++ {
+			name := fmt.Sprintf("d%d", i)
+			_, err := k.CreateDir(cpu, p, path, name, directory.Public(hw.Read|hw.Write), aim.Bottom)
+			check(err)
+			path = append(path, name)
+		}
+		_, err = k.CreateFile(cpu, p, path, "f", nil, aim.Bottom)
+		check(err)
+		segno, err := k.OpenPath(cpu, p, append(append([]string{}, path...), "f"))
+		check(err)
+		k.Meter.Reset()
+		for i := 0; i < 50; i++ {
+			check(k.Write(cpu, p, segno, i*hw.PageWords, 1))
+		}
+		kern := k.Meter.Cycles() / 50
+
+		s := bootBase(nil)
+		bp := ""
+		for i := 0; i < depth; i++ {
+			name := fmt.Sprintf("d%d", i)
+			if bp == "" {
+				bp = name
+			} else {
+				bp += ">" + name
+			}
+			check(s.Create("u.x", bp, true))
+		}
+		check(s.Create("u.x", bp+">f", false))
+		proc := s.CreateProcess("u.x")
+		bcpu := s.CPUs[0]
+		s.Attach(bcpu, proc)
+		bsegno, err := s.Open(proc, bp+">f")
+		check(err)
+		s.Meter.Reset()
+		for i := 0; i < 50; i++ {
+			check(s.Write(bcpu, proc, bsegno, i*hw.PageWords, 1))
+		}
+		base := s.Meter.Cycles() / 50
+		fmt.Printf("    depth %2d: static cell %5d cyc, dynamic walk %5d cyc\n", depth, kern, base)
+	}
+	fmt.Println("    [paper: the static binding removes the upward search entirely]")
+}
+
+func p7() {
+	fmt.Println("P7 network kernel bulk (source lines) by attached networks:")
+	for n := 1; n <= 6; n++ {
+		fmt.Printf("    %d networks: per-network-in-kernel %6d lines, generic %5d lines\n",
+			n, netmux.KernelLines(netmux.PerNetworkKernel, n), netmux.KernelLines(netmux.GenericKernel, n))
+	}
+	fmt.Println("    [paper: 7,000 lines shrink below 1,000 and grow only slightly per network]")
+}
+
+func p8() {
+	s := bootBase(nil)
+	for i := 0; i < 4; i++ {
+		s.CreateProcess("u.x")
+	}
+	s.Meter.Reset()
+	_, err := s.RunQuantum(100, func(*baseline.Process) {})
+	check(err)
+	one := s.Meter.Cycles() / 100
+
+	k := bootKernel(nil)
+	for i := 0; i < 4; i++ {
+		_, err := k.CreateProcess("u.x", aim.Bottom)
+		check(err)
+	}
+	k.Meter.Reset()
+	_, err = k.Procs.RunQuantum(100, func(*uproc.Process) {})
+	check(err)
+	two := k.Meter.Cycles() / 100
+	fmt.Printf("P8 scheduler quantum:  one-level %4d cyc, two-level %4d cyc (%s)  [paper: about the same]\n",
+		one, two, ratio(two, one))
+}

@@ -1,0 +1,272 @@
+package multics
+
+import (
+	"fmt"
+	"testing"
+
+	"multics/internal/baseline"
+	"multics/internal/hw"
+	"multics/internal/uproc"
+)
+
+// These tests pin the shape of every performance comparison in the
+// paper's evaluation against the deterministic cycle meter, so a cost-
+// model regression fails loudly rather than silently changing the
+// story. The benchmarks in bench_test.go report the same quantities.
+
+// kernelFixture boots a kernel for shape tests.
+func kernelFixture(t *testing.T, mutate func(*Config)) *Kernel {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.RootQuota = 100000
+	cfg.Packs = []PackSpec{{ID: "dska", Records: 8192}, {ID: "dskb", Records: 8192}}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	k, err := Boot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func baselineFixture(t *testing.T, mutate func(*BaselineConfig)) *Baseline {
+	t.Helper()
+	cfg := DefaultBaselineConfig()
+	cfg.RootQuota = 100000
+	cfg.Packs = cfg.Packs[:0]
+	cfg.Packs = append(cfg.Packs, struct {
+		ID      string
+		Records int
+	}{"dska", 8192}, struct {
+		ID      string
+		Records int
+	}{"dskb", 8192})
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := BootBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// P5: the redesigned memory manager's fault path is slightly slower
+// than the baseline's (PL/I recode plus daemon IPC), but not
+// significantly — the paper's "negative, but not significant unless
+// the system were cramped for memory and thrashing".
+func TestShapePageFaultPath(t *testing.T) {
+	const pages, frames = 32, 16
+	baselineCost := func() int64 {
+		s := baselineFixture(t, func(c *BaselineConfig) { c.MemFrames = frames + 8; c.WiredFrames = 8 })
+		if err := s.Create("a.x", "hot", false); err != nil {
+			t.Fatal(err)
+		}
+		p := s.CreateProcess("a.x")
+		cpu := s.CPUs[0]
+		s.Attach(cpu, p)
+		segno, err := s.Open(p, "hot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < pages; i++ {
+			if err := s.Write(cpu, p, segno, i*hw.PageWords, hw.Word(i+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Meter.Reset()
+		for i := 0; i < 200; i++ {
+			if _, err := s.Read(cpu, p, segno, (i%pages)*hw.PageWords); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Meter.Cycles()
+	}()
+	kernelCost := func() int64 {
+		k := kernelFixture(t, func(c *Config) { c.MemFrames = frames + 8; c.WiredFrames = 8 })
+		p, err := k.CreateProcess("a.x", Bottom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := k.CPUs[0]
+		k.Attach(cpu, p)
+		if _, err := k.CreateFile(cpu, p, nil, "hot", nil, Bottom); err != nil {
+			t.Fatal(err)
+		}
+		segno, err := k.OpenPath(cpu, p, []string{"hot"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < pages; i++ {
+			if err := k.Write(cpu, p, segno, i*hw.PageWords, hw.Word(i+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Meter.Reset()
+		for i := 0; i < 200; i++ {
+			if _, err := k.Read(cpu, p, segno, (i%pages)*hw.PageWords); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return k.Meter.Cycles()
+	}()
+	if kernelCost <= baselineCost {
+		t.Errorf("kernel fault path %d cycles <= baseline %d; the redesign should cost slightly more", kernelCost, baselineCost)
+	}
+	slowdown := 100 * float64(kernelCost-baselineCost) / float64(baselineCost)
+	if slowdown > 15 {
+		t.Errorf("kernel fault path %.1f%% slower; should be 'not significant' (<15%%)", slowdown)
+	}
+}
+
+// P6: quota charging is O(1) against the statically bound cell and
+// O(depth) for the baseline's dynamic upward search.
+func TestShapeQuotaCost(t *testing.T) {
+	kernelCostAt := func(depth int) int64 {
+		k := kernelFixture(t, nil)
+		p, err := k.CreateProcess("a.x", Bottom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := k.CPUs[0]
+		k.Attach(cpu, p)
+		var path []string
+		for i := 0; i < depth; i++ {
+			name := fmt.Sprintf("d%d", i)
+			if _, err := k.CreateDir(cpu, p, path, name, Public(Read|Write), Bottom); err != nil {
+				t.Fatal(err)
+			}
+			path = append(path, name)
+		}
+		if _, err := k.CreateFile(cpu, p, path, "f", nil, Bottom); err != nil {
+			t.Fatal(err)
+		}
+		segno, err := k.OpenPath(cpu, p, append(append([]string{}, path...), "f"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Meter.Reset()
+		for i := 0; i < 50; i++ {
+			if err := k.Write(cpu, p, segno, i*hw.PageWords, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return k.Meter.Cycles()
+	}
+	baselineCostAt := func(depth int) int64 {
+		s := baselineFixture(t, nil)
+		path := ""
+		for i := 0; i < depth; i++ {
+			name := fmt.Sprintf("d%d", i)
+			if path == "" {
+				path = name
+			} else {
+				path += ">" + name
+			}
+			if err := s.Create("a.x", path, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Create("a.x", path+">f", false); err != nil {
+			t.Fatal(err)
+		}
+		p := s.CreateProcess("a.x")
+		cpu := s.CPUs[0]
+		s.Attach(cpu, p)
+		segno, err := s.Open(p, path+">f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Meter.Reset()
+		for i := 0; i < 50; i++ {
+			if err := s.Write(cpu, p, segno, i*hw.PageWords, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Meter.Cycles()
+	}
+	k1, k8 := kernelCostAt(1), kernelCostAt(8)
+	b1, b8 := baselineCostAt(1), baselineCostAt(8)
+	// Static cell: depth-independent (identical, not merely close).
+	if k1 != k8 {
+		t.Errorf("kernel growth cost varies with depth: %d at 1, %d at 8", k1, k8)
+	}
+	// Dynamic walk: grows with depth.
+	if b8 <= b1 {
+		t.Errorf("baseline growth cost did not grow with depth: %d at 1, %d at 8", b1, b8)
+	}
+	// Deep in the hierarchy, the redesign wins.
+	if k8 >= b8 {
+		t.Errorf("at depth 8, kernel %d >= baseline %d; the static binding should win", k8, b8)
+	}
+}
+
+// P8: the two-level scheduler performs about the same as the
+// one-level scheduler (the paper's expectation for the combined
+// layers).
+func TestShapeTwoLevelScheduler(t *testing.T) {
+	oneLevel := func() int64 {
+		s := baselineFixture(t, nil)
+		for i := 0; i < 4; i++ {
+			s.CreateProcess("u.x")
+		}
+		s.Meter.Reset()
+		if _, err := s.RunQuantum(100, func(*baseline.Process) {}); err != nil {
+			t.Fatal(err)
+		}
+		return s.Meter.Cycles()
+	}()
+	twoLevel := func() int64 {
+		k := kernelFixture(t, nil)
+		for i := 0; i < 4; i++ {
+			if _, err := k.CreateProcess("u.x", Bottom); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Meter.Reset()
+		if _, err := k.Procs.RunQuantum(100, func(*uproc.Process) {}); err != nil {
+			t.Fatal(err)
+		}
+		return k.Meter.Cycles()
+	}()
+	diff := twoLevel - oneLevel
+	if diff < 0 {
+		diff = -diff
+	}
+	if 100*diff > 10*oneLevel {
+		t.Errorf("scheduler costs diverge more than 10%%: one-level %d, two-level %d", oneLevel, twoLevel)
+	}
+}
+
+// The end-to-end sanity check the paper's plan aims at: the public
+// facade boots both systems and the kernel's certification order is
+// printable.
+func TestFacade(t *testing.T) {
+	k, err := Boot(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.CertificationOrder()) == 0 {
+		t.Error("no certification order")
+	}
+	s, err := BootBaseline(DefaultBaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil {
+		t.Fatal("nil baseline")
+	}
+	if SizeTable().Final != 26000 {
+		t.Error("size table drifted")
+	}
+	if !KernelGraph().LoopFree() {
+		t.Error("kernel graph has loops")
+	}
+	if ActualGraph().LoopFree() {
+		t.Error("1974 graph reported loop-free")
+	}
+	if len(Owner("a.b")) == 0 || len(Public(Read)) == 0 {
+		t.Error("ACL helpers broken")
+	}
+}

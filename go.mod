@@ -1,0 +1,3 @@
+module multics
+
+go 1.22

@@ -1,0 +1,70 @@
+package baseline
+
+import "multics/internal/deps"
+
+// Module names of the 1974 supervisor as the paper draws them.
+const (
+	ModDiskVol = "disk-volume-control"
+	ModDirCtl  = "directory-control"
+	ModAddrCtl = "address-space-control"
+	ModSegCtl  = "segment-control"
+	ModPageCtl = "page-control"
+	ModProcCtl = "process-control"
+)
+
+func addModules(g *deps.Graph) {
+	g.AddModule(ModDiskVol, "disk packs and record allocation")
+	g.AddModule(ModDirCtl, "file-system directory control")
+	g.AddModule(ModAddrCtl, "address space control (descriptor segments, KSTs)")
+	g.AddModule(ModSegCtl, "segment control (active segment table)")
+	g.AddModule(ModPageCtl, "page control (page tables, core map)")
+	g.AddModule(ModProcCtl, "process control (scheduling, traffic control)")
+}
+
+// SuperficialGraph is Figure 2: the dependency structure of the 1974
+// supervisor as it appears from far away — six large modules in a
+// nearly linear order, with the one obvious exception of the circular
+// dependency between processor multiplexing and the virtual memory.
+func SuperficialGraph() *deps.Graph {
+	g := deps.New()
+	addModules(g)
+	g.MustDepend(ModDirCtl, ModAddrCtl, deps.Component, "directories are addressed segments")
+	g.MustDepend(ModAddrCtl, ModSegCtl, deps.Component, "address spaces name segments")
+	g.MustDepend(ModSegCtl, ModPageCtl, deps.Component, "segments are made of pages")
+	g.MustDepend(ModPageCtl, ModDiskVol, deps.Component, "pages live in disk records")
+	// The obvious loop: page control gives the processor away on a
+	// missing page; process control stores process states in
+	// segments.
+	g.MustDepend(ModPageCtl, ModProcCtl, deps.Call, "missing page gives the processor to another process")
+	g.MustDepend(ModProcCtl, ModSegCtl, deps.Component, "inactive process states are stored in segments")
+	return g
+}
+
+// ActualGraph is Figure 3: the same system on close inspection, with
+// the map, program, address-space and interpreter dependencies — and
+// the exception-handling and resource-control paths — that turn the
+// nearly linear picture into a thicket of loops. Every added edge is
+// documented with the paper's example that motivates it.
+func ActualGraph() *deps.Graph {
+	g := SuperficialGraph()
+	// Missing pages: interpretive retranslation makes page control
+	// read the translation tables maintained by segment control and
+	// address space control.
+	g.MustDepend(ModPageCtl, ModSegCtl, deps.SharedData, "interpretive retranslation reads segment control's tables after capturing the global lock")
+	g.MustDepend(ModPageCtl, ModAddrCtl, deps.SharedData, "interpretive retranslation reads the address translation tables")
+	// Quota enforcement: page control follows AST links to the
+	// nearest superior quota directory, whose limit and count live
+	// in the directory entry.
+	g.MustDepend(ModPageCtl, ModDirCtl, deps.SharedData, "quota limits and counts live in directory entries found by an upward AST search")
+	// Full disk packs: segment control reads address space control's
+	// data to find the directory entry and updates it directly.
+	g.MustDepend(ModSegCtl, ModDirCtl, deps.SharedData, "full-pack relocation updates the directory entry in place")
+	g.MustDepend(ModSegCtl, ModAddrCtl, deps.SharedData, "relocation finds the directory entry through address space control's data base")
+	// Programs and maps stored in the objects they implement.
+	g.MustDepend(ModPageCtl, ModSegCtl, deps.Program, "page control's code is stored in segments")
+	g.MustDepend(ModPageCtl, ModAddrCtl, deps.AddressSpace, "page control's address space is provided by address space control")
+	// Directory representations live in segments, closing the loop
+	// with segment control's direct directory-entry updates.
+	g.MustDepend(ModDirCtl, ModSegCtl, deps.Component, "each directory representation is stored in a segment")
+	return g
+}

@@ -1,0 +1,336 @@
+// Package census reproduces the paper's kernel-size accounting: the
+// measure of the Multics kernel in PL/I-equivalent source lines, the
+// inventory of what was in it at the start of the project, and the
+// six re-engineering projects whose combined effect cut the kernel
+// roughly in half.
+//
+// The paper's choice of measure is kept: the most useful and
+// consistent measure of kernel size is the number of source lines
+// that would exist had the system been coded uniformly in PL/I
+// (recoding assembly in PL/I shrinks source by slightly more than a
+// factor of two, while roughly doubling generated instructions).
+package census
+
+import (
+	"fmt"
+	"strings"
+
+	"multics/internal/answering"
+	"multics/internal/hw"
+	"multics/internal/linker"
+	"multics/internal/netmux"
+	"multics/internal/sysinit"
+)
+
+// A Module is one body of supervisor code in the inventory.
+type Module struct {
+	Name string
+	// Lines is actual source lines in the module's Language.
+	Lines    int
+	Language hw.Language
+	// Ring 0 modules are the supervisor proper; the answering
+	// service runs in a trusted process outside ring zero but must
+	// be counted in the kernel.
+	Ring int
+	// Entries is the module's internal entry points; UserGates of
+	// them are callable from the user domain.
+	Entries   int
+	UserGates int
+	// InKernel is false once a project removes the module from the
+	// trusted base.
+	InKernel bool
+}
+
+// An Inventory is a full census of the kernel at one moment.
+type Inventory struct {
+	Modules []Module
+}
+
+// StartInventory is the September-1973-style census the project
+// started from: the equivalent of 54,000 lines — 44,000 source lines
+// within ring zero (36,000 PL/I-equivalent once the ~16,000 assembly
+// lines are discounted at the recoding factor) plus the 10,000-line
+// answering service — with roughly 1,200 supervisor entry points of
+// which 157 were user-callable gates.
+func StartInventory() Inventory {
+	return Inventory{Modules: []Module{
+		{Name: "page-control", Lines: 4000, Language: hw.ASM, Ring: 0, Entries: 90, UserGates: 2, InKernel: true},
+		{Name: "traffic-control", Lines: 4000, Language: hw.ASM, Ring: 0, Entries: 110, UserGates: 6, InKernel: true},
+		{Name: "fault-and-interrupt", Lines: 8000, Language: hw.ASM, Ring: 0, Entries: 160, UserGates: 4, InKernel: true},
+		{Name: "segment-control", Lines: 5000, Language: hw.PLI, Ring: 0, Entries: 140, UserGates: 12, InKernel: true},
+		{Name: "directory-control", Lines: 6000, Language: hw.PLI, Ring: 0, Entries: 230, UserGates: 46, InKernel: true},
+		{Name: "address-space-control", Lines: 3000, Language: hw.PLI, Ring: 0, Entries: 120, UserGates: 18, InKernel: true},
+		{Name: "dynamic-linker", Lines: 2000, Language: hw.PLI, Ring: 0, Entries: 30, UserGates: 17, InKernel: true},
+		{Name: "name-management", Lines: 1000, Language: hw.PLI, Ring: 0, Entries: 25, UserGates: 10, InKernel: true},
+		{Name: "network-io", Lines: 7000, Language: hw.PLI, Ring: 0, Entries: 150, UserGates: 22, InKernel: true},
+		{Name: "initialization", Lines: 2000, Language: hw.PLI, Ring: 0, Entries: 45, UserGates: 0, InKernel: true},
+		{Name: "miscellaneous-supervisor", Lines: 2000, Language: hw.PLI, Ring: 0, Entries: 100, UserGates: 20, InKernel: true},
+		{Name: "answering-service", Lines: answering.MonolithicLines, Language: hw.PLI, Ring: 4, Entries: 120, UserGates: 0, InKernel: true},
+	}}
+}
+
+// clone copies the inventory so projects do not alias.
+func (inv Inventory) clone() Inventory {
+	return Inventory{Modules: append([]Module(nil), inv.Modules...)}
+}
+
+// find locates a module index by name.
+func (inv Inventory) find(name string) int {
+	for i := range inv.Modules {
+		if inv.Modules[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// KernelLines is the headline number: actual source lines currently
+// counted in the kernel (ring zero plus trusted processes).
+func (inv Inventory) KernelLines() int {
+	n := 0
+	for _, m := range inv.Modules {
+		if m.InKernel {
+			n += m.Lines
+		}
+	}
+	return n
+}
+
+// RingZeroLines counts only the ring-zero portion.
+func (inv Inventory) RingZeroLines() int {
+	n := 0
+	for _, m := range inv.Modules {
+		if m.InKernel && m.Ring == 0 {
+			n += m.Lines
+		}
+	}
+	return n
+}
+
+// PLIEquivalentLines applies the paper's measure: assembly counts at
+// the factor it would shrink to if recoded in PL/I.
+func (inv Inventory) PLIEquivalentLines() int {
+	n := 0
+	for _, m := range inv.Modules {
+		if !m.InKernel {
+			continue
+		}
+		if m.Language == hw.ASM {
+			n += m.Lines / 2
+		} else {
+			n += m.Lines
+		}
+	}
+	return n
+}
+
+// Entries reports the ring-zero supervisor's entry points (the
+// paper's ~1,200) and the user-callable gates among them (157).
+func (inv Inventory) Entries() (entries, gates int) {
+	for _, m := range inv.Modules {
+		if m.InKernel && m.Ring == 0 {
+			entries += m.Entries
+			gates += m.UserGates
+		}
+	}
+	return entries, gates
+}
+
+// A Project is one re-engineering experiment with its effect on the
+// inventory.
+type Project struct {
+	Name string
+	// Reduction is the kernel-line reduction the paper's table
+	// credits to the project.
+	Reduction int
+	// Apply transforms the inventory.
+	Apply func(Inventory) Inventory
+	// Note is the paper's one-line summary.
+	Note string
+}
+
+// removeModule marks a module out of the kernel, optionally leaving a
+// residue module of the given size inside.
+func removeModule(name string, residueLines int) func(Inventory) Inventory {
+	return func(inv Inventory) Inventory {
+		out := inv.clone()
+		i := out.find(name)
+		if i < 0 {
+			return out
+		}
+		if residueLines == 0 {
+			out.Modules[i].InKernel = false
+			return out
+		}
+		m := out.Modules[i]
+		frac := float64(residueLines) / float64(m.Lines)
+		out.Modules[i].Lines = residueLines
+		out.Modules[i].Entries = int(float64(m.Entries)*frac + 0.5)
+		out.Modules[i].UserGates = int(float64(m.UserGates)*frac + 0.5)
+		return out
+	}
+}
+
+// Projects returns the six projects in the order of the paper's
+// table. The reduction figures are the paper's; tests verify the
+// transformations produce exactly them.
+func Projects() []Project {
+	return []Project{
+		{
+			Name:      "Linker",
+			Reduction: linker.KernelLines(linker.InKernel) - linker.KernelLines(linker.UserRing),
+			Apply:     removeModule("dynamic-linker", 0),
+			Note:      "dynamic linker extracted to the user ring (Janson 1974): -5% object code, -2.5% entries, -11% user gates",
+		},
+		{
+			Name:      "Name Manager",
+			Reduction: 1000,
+			Apply:     removeModule("name-management", 0),
+			Note:      "pathname expansion moved above the search primitive (Bratt 1975); the algorithm shrank by a factor of four outside the kernel",
+		},
+		{
+			Name:      "Answering Service",
+			Reduction: answering.KernelLines(answering.Monolithic) - answering.KernelLines(answering.Split),
+			Apply:     removeModule("answering-service", answering.SplitTrustedLines),
+			Note:      "login and accounting split; fewer than 1,000 of 10,000 lines need be trusted (Montgomery 1976)",
+		},
+		{
+			Name:      "Network I/O",
+			Reduction: netmux.KernelLines(netmux.PerNetworkKernel, 2) - 1000,
+			Apply:     removeModule("network-io", 1000),
+			Note:      "per-network handlers replaced by a generic demultiplexer; 7,000 lines shrink below 1,000 (Ciccarelli 1977)",
+		},
+		{
+			Name:      "Initialization",
+			Reduction: sysinit.OldPlan().KernelLines() - sysinit.NewPlan().KernelLines(),
+			Apply:     removeModule("initialization", 0),
+			Note:      "configuration work moved to a user process of a previous incarnation (Luniewski)",
+		},
+		{
+			Name:      "Exclusive use of PL/I",
+			Reduction: 8000,
+			Apply: func(inv Inventory) Inventory {
+				out := inv.clone()
+				for i := range out.Modules {
+					if out.Modules[i].InKernel && out.Modules[i].Language == hw.ASM {
+						out.Modules[i].Lines /= 2
+						out.Modules[i].Language = hw.PLI
+					}
+				}
+				return out
+			},
+			Note: "assembly recoded in PL/I: source halves, generated instructions roughly double (Huber 1976)",
+		},
+	}
+}
+
+// A TableRow is one line of the size table.
+type TableRow struct {
+	Name      string
+	Reduction int
+}
+
+// Table is the regenerated size accounting.
+type Table struct {
+	StartRingZero  int
+	StartAnswering int
+	StartTotal     int
+	Rows           []TableRow
+	TotalReduction int
+	Final          int
+}
+
+// SizeTable applies every project to the starting inventory and
+// regenerates the paper's table.
+func SizeTable() Table {
+	inv := StartInventory()
+	t := Table{
+		StartRingZero:  inv.RingZeroLines(),
+		StartAnswering: inv.KernelLines() - inv.RingZeroLines(),
+		StartTotal:     inv.KernelLines(),
+	}
+	for _, p := range Projects() {
+		before := inv.KernelLines()
+		inv = p.Apply(inv)
+		got := before - inv.KernelLines()
+		t.Rows = append(t.Rows, TableRow{Name: p.Name, Reduction: got})
+		t.TotalReduction += got
+	}
+	t.Final = inv.KernelLines()
+	return t
+}
+
+// FinalInventory applies every project and returns the resulting
+// inventory.
+func FinalInventory() Inventory {
+	inv := StartInventory()
+	for _, p := range Projects() {
+		inv = p.Apply(inv)
+	}
+	return inv
+}
+
+// String renders the table in the paper's layout.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Kernel Size, Start of Project\n")
+	fmt.Fprintf(&b, "  %5dK ring 0\n", t.StartRingZero/1000)
+	fmt.Fprintf(&b, "  %5dK Answering Service\n", t.StartAnswering/1000)
+	fmt.Fprintf(&b, "  %5dK TOTAL\n\nReductions\n", t.StartTotal/1000)
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-22s %2dK\n", r.Name, r.Reduction/1000)
+	}
+	fmt.Fprintf(&b, "  %-22s %2dK\n", "TOTAL", t.TotalReduction/1000)
+	fmt.Fprintf(&b, "\nRemaining kernel: %dK (%d%% of the start)\n", t.Final/1000, 100*t.Final/t.StartTotal)
+	return b.String()
+}
+
+// EntryStats reproduces the paper's entry-point observations around
+// the linker removal.
+type EntryStats struct {
+	StartEntries, StartGates int
+	AfterEntries, AfterGates int
+	EntryDropPercent         float64
+	GateDropPercent          float64
+}
+
+// LinkerEntryStats computes the effect of removing the dynamic linker
+// on the supervisor's interface.
+func LinkerEntryStats() EntryStats {
+	inv := StartInventory()
+	e0, g0 := inv.Entries()
+	after := Projects()[0].Apply(inv)
+	e1, g1 := after.Entries()
+	return EntryStats{
+		StartEntries: e0, StartGates: g0,
+		AfterEntries: e1, AfterGates: g1,
+		EntryDropPercent: 100 * float64(e0-e1) / float64(e0),
+		GateDropPercent:  100 * float64(g0-g1) / float64(g0),
+	}
+}
+
+// FileStoreSpecialization estimates the further reduction from
+// specializing the finished kernel to a network-connected file store:
+// the paper's best estimate is "at most another 15 to 25%", because
+// most removable function is already gone. We model it as removing
+// the residual traffic-control generality and part of the
+// miscellaneous supervisor.
+func FileStoreSpecialization() (percent float64) {
+	inv := FinalInventory()
+	total := inv.KernelLines()
+	removable := 0
+	for _, m := range inv.Modules {
+		if !m.InKernel {
+			continue
+		}
+		switch m.Name {
+		case "traffic-control":
+			removable += m.Lines * 3 / 4 // general-purpose scheduling
+		case "miscellaneous-supervisor":
+			removable += m.Lines
+		case "fault-and-interrupt":
+			removable += m.Lines / 4 // user-program fault surface
+		}
+	}
+	return 100 * float64(removable) / float64(total)
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"multics/internal/aim"
+	"multics/internal/directory"
+	"multics/internal/hw"
+	"multics/internal/knownseg"
+	"multics/internal/uproc"
+)
+
+// bodyUserWalk is the per-component cost of the user-ring pathname
+// expansion program — the code Bratt's design moved out of the
+// kernel, a quarter the size of its in-kernel ancestor.
+const bodyUserWalk = 30
+
+// ErrFaultLoop is returned when a reference keeps faulting without
+// making progress.
+var ErrFaultLoop = errors.New("core: reference faulted without progress")
+
+// Attach binds a user process's address space to a CPU.
+func (k *Kernel) Attach(cpu *hw.Processor, p *uproc.Process) {
+	cpu.UserDT = p.DT()
+	cpu.Ring = hw.UserRing
+}
+
+// CreateProcess makes a user process for an authenticated principal.
+func (k *Kernel) CreateProcess(principal string, label aim.Label) (*uproc.Process, error) {
+	return k.Procs.Create(principal, label)
+}
+
+// gate runs fn in ring zero via a gate crossing on cpu (cpu may be nil
+// for kernel-internal callers).
+func (k *Kernel) gate(cpu *hw.Processor, fn func() error) error {
+	if cpu == nil {
+		return fn()
+	}
+	return cpu.GateCall(hw.KernelRing, true, fn)
+}
+
+// Search is the gate to the protected single-directory search
+// primitive.
+func (k *Kernel) Search(cpu *hw.Processor, p *uproc.Process, dirID directory.Identifier, name string) (directory.Identifier, error) {
+	var id directory.Identifier
+	err := k.gate(cpu, func() error {
+		var err error
+		id, err = k.Dirs.Search(directory.Principal(p.Principal()), p.Label(), dirID, name)
+		return err
+	})
+	return id, err
+}
+
+// WalkPath is the user-ring pathname expansion built on the Search
+// gate: one gate crossing per component plus the (small) user-ring
+// expansion program. This is the post-Bratt design.
+func (k *Kernel) WalkPath(cpu *hw.Processor, p *uproc.Process, path []string) (directory.Identifier, error) {
+	id := k.Dirs.RootID()
+	for _, name := range path {
+		k.Meter.AddBody(bodyUserWalk, hw.PLI)
+		next, err := k.Search(cpu, p, id, name)
+		if err != nil {
+			return 0, err
+		}
+		id = next
+	}
+	return id, nil
+}
+
+// ResolveKernel is the pre-redesign path resolution: the whole
+// expansion buried in the supervisor behind a single gate, answering
+// only "found" or "no access".
+func (k *Kernel) ResolveKernel(cpu *hw.Processor, p *uproc.Process, path []string) (directory.Identifier, error) {
+	var id directory.Identifier
+	err := k.gate(cpu, func() error {
+		var err error
+		id, err = k.Dirs.ResolvePathKernel(directory.Principal(p.Principal()), p.Label(), path)
+		return err
+	})
+	return id, err
+}
+
+// Open initiates the object named by id into the process's address
+// space and returns its segment number. The first reference will take
+// a missing-segment fault and connect through the standard machinery.
+func (k *Kernel) Open(cpu *hw.Processor, p *uproc.Process, id directory.Identifier) (int, error) {
+	var segno int
+	err := k.gate(cpu, func() error {
+		grant, err := k.Dirs.Initiate(directory.Principal(p.Principal()), p.Label(), id)
+		if err != nil {
+			return err
+		}
+		segno, err = k.KSM.MakeKnown(p.KST(), knownseg.Entry{
+			UID: grant.UID, Addr: grant.Addr,
+			Cell: grant.Cell, HasCell: grant.HasCell,
+			Access: grant.Access, MaxRing: hw.UserRing, WriteRing: hw.UserRing,
+		})
+		return err
+	})
+	return segno, err
+}
+
+// OpenPath walks a path in the user ring and opens the result.
+func (k *Kernel) OpenPath(cpu *hw.Processor, p *uproc.Process, path []string) (int, error) {
+	id, err := k.WalkPath(cpu, p, path)
+	if err != nil {
+		return 0, err
+	}
+	return k.Open(cpu, p, id)
+}
+
+// CreateFile creates a file entry under the directory named by path.
+func (k *Kernel) CreateFile(cpu *hw.Processor, p *uproc.Process, dirPath []string, name string, acl directory.ACL, label aim.Label) (directory.Identifier, error) {
+	dirID, err := k.WalkPath(cpu, p, dirPath)
+	if err != nil {
+		return 0, err
+	}
+	var id directory.Identifier
+	err = k.gate(cpu, func() error {
+		var err error
+		id, err = k.Dirs.Create(directory.Principal(p.Principal()), p.Label(), dirID, name, false, acl, label)
+		return err
+	})
+	return id, err
+}
+
+// CreateDir creates a directory entry under the directory named by
+// path.
+func (k *Kernel) CreateDir(cpu *hw.Processor, p *uproc.Process, dirPath []string, name string, acl directory.ACL, label aim.Label) (directory.Identifier, error) {
+	dirID, err := k.WalkPath(cpu, p, dirPath)
+	if err != nil {
+		return 0, err
+	}
+	var id directory.Identifier
+	err = k.gate(cpu, func() error {
+		var err error
+		id, err = k.Dirs.Create(directory.Principal(p.Principal()), p.Label(), dirID, name, true, acl, label)
+		return err
+	})
+	return id, err
+}
+
+// SetACL replaces the ACL of the object named by id.
+func (k *Kernel) SetACL(cpu *hw.Processor, p *uproc.Process, id directory.Identifier, acl directory.ACL) error {
+	return k.gate(cpu, func() error {
+		return k.Dirs.SetACL(directory.Principal(p.Principal()), p.Label(), id, acl)
+	})
+}
+
+// Rename changes an entry's name within the directory named by
+// dirPath.
+func (k *Kernel) Rename(cpu *hw.Processor, p *uproc.Process, dirPath []string, oldName, newName string) error {
+	dirID, err := k.WalkPath(cpu, p, dirPath)
+	if err != nil {
+		return err
+	}
+	return k.gate(cpu, func() error {
+		return k.Dirs.Rename(directory.Principal(p.Principal()), p.Label(), dirID, oldName, newName)
+	})
+}
+
+// Truncate discards the pages of an opened segment at or beyond
+// newPages, releasing their storage and quota. The caller needs write
+// access to the segment.
+func (k *Kernel) Truncate(cpu *hw.Processor, p *uproc.Process, segno, newPages int) error {
+	return k.gate(cpu, func() error {
+		e, err := p.KST().Entry(segno)
+		if err != nil {
+			return err
+		}
+		if !e.Access.Has(hw.Write) {
+			return directory.ErrNoAccess
+		}
+		if _, err := k.Segs.Lookup(e.UID); err != nil {
+			// Not active: activate through the standard machinery
+			// so truncation can proceed.
+			if _, err := k.Segs.Activate(e.UID, e.Addr, e.Cell, e.HasCell); err != nil {
+				return err
+			}
+		}
+		return k.Segs.Truncate(e.UID, newPages)
+	})
+}
+
+// DesignateQuota makes the (childless) directory named by id a quota
+// directory.
+func (k *Kernel) DesignateQuota(cpu *hw.Processor, p *uproc.Process, id directory.Identifier, limit int) error {
+	return k.gate(cpu, func() error {
+		return k.Dirs.DesignateQuota(directory.Principal(p.Principal()), p.Label(), id, limit)
+	})
+}
+
+// Read performs a user-mode load with full fault handling.
+func (k *Kernel) Read(cpu *hw.Processor, p *uproc.Process, segno, off int) (hw.Word, error) {
+	return k.access(cpu, p, segno, off, false, 0)
+}
+
+// Write performs a user-mode store with full fault handling.
+func (k *Kernel) Write(cpu *hw.Processor, p *uproc.Process, segno, off int, w hw.Word) error {
+	_, err := k.access(cpu, p, segno, off, true, w)
+	return err
+}
+
+// access is the reference-retry loop: issue the reference, let the
+// hardware fault, handle the fault in ring zero, dispatch any upward
+// signals after the handling chain unwinds, and rereference.
+func (k *Kernel) access(cpu *hw.Processor, p *uproc.Process, segno, off int, write bool, w hw.Word) (hw.Word, error) {
+	const maxFaults = 64
+	for tries := 0; tries < maxFaults; tries++ {
+		var val hw.Word
+		var err error
+		if write {
+			err = cpu.Write(segno, off, w)
+		} else {
+			val, err = cpu.Read(segno, off)
+		}
+		if err == nil {
+			return val, nil
+		}
+		f, ok := hw.AsFault(err)
+		if !ok {
+			return 0, err
+		}
+		if herr := k.handleFault(cpu, p, f); herr != nil {
+			return 0, herr
+		}
+		// The faulting call chain has unwound; run any upward
+		// signals (relocation notices) and daemon work.
+		if _, derr := k.Signals.Dispatch(); derr != nil {
+			return 0, derr
+		}
+		k.VProcs.RunPending()
+	}
+	return 0, fmt.Errorf("%w: segment %d offset %d", ErrFaultLoop, segno, off)
+}
+
+// handleFault maps one hardware exception to the manager that owns it.
+func (k *Kernel) handleFault(cpu *hw.Processor, p *uproc.Process, f *hw.Fault) error {
+	switch f.Kind {
+	case hw.FaultMissingSegment:
+		return k.gate(cpu, func() error {
+			return k.KSM.ServiceMissingSegment(p.KST(), p.DT(), f.Seg)
+		})
+	case hw.FaultMissingPage:
+		// With descriptor-lock hardware the faulting processor set
+		// the lock bit and owns the service; a processor that lost
+		// the race would have seen FaultLockedDescriptor instead.
+		return k.gate(cpu, func() error {
+			return k.KSM.ServiceMissingPage(p.KST(), f.Seg, f.Page)
+		})
+	case hw.FaultLockedDescriptor:
+		sdw, err := p.DT().Get(f.Seg)
+		if err != nil || !sdw.Present || sdw.Table == nil {
+			// The segment vanished under us (relocation); the
+			// rereference will take a missing-segment fault.
+			return nil
+		}
+		return k.gate(cpu, func() error {
+			return k.Frames.WaitUnlock(cpu, sdw.Table, f.Page)
+		})
+	case hw.FaultQuota:
+		return k.gate(cpu, func() error {
+			return k.KSM.ServiceQuotaFault(p.KST(), f.Seg, f.Page, p.ID())
+		})
+	default:
+		// Access, bounds and gate violations belong to the caller.
+		return f
+	}
+}

@@ -1,0 +1,97 @@
+package directory
+
+import (
+	"fmt"
+	"strings"
+
+	"multics/internal/hw"
+)
+
+// A Principal names an authenticated user as person.project, the form
+// the answering service establishes at login.
+type Principal string
+
+// Person returns the person component.
+func (p Principal) Person() string {
+	s := string(p)
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Project returns the project component ("" if absent).
+func (p Principal) Project() string {
+	s := string(p)
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return s[i+1:]
+	}
+	return ""
+}
+
+// A Term grants an access mode to the principals matching a pattern.
+// Patterns are person.project with either component replaceable by
+// "*": "bob.sys" matches exactly, "bob.*" matches bob on any project,
+// "*.sys" matches any person on project sys, and "*.*" (or "*")
+// matches everyone.
+type Term struct {
+	Pattern string
+	Mode    hw.AccessMode
+}
+
+// Matches reports whether the term's pattern covers the principal.
+func (t Term) Matches(p Principal) bool {
+	pat := t.Pattern
+	if pat == "*" {
+		return true
+	}
+	var patPerson, patProject string
+	if i := strings.IndexByte(pat, '.'); i >= 0 {
+		patPerson, patProject = pat[:i], pat[i+1:]
+	} else {
+		patPerson, patProject = pat, "*"
+	}
+	if patPerson != "*" && patPerson != p.Person() {
+		return false
+	}
+	if patProject != "*" && patProject != p.Project() {
+		return false
+	}
+	return true
+}
+
+func (t Term) String() string { return fmt.Sprintf("%s:%v", t.Pattern, t.Mode) }
+
+// An ACL is an ordered access control list; the first matching term
+// decides, as in Multics.
+type ACL []Term
+
+// ModeFor returns the access mode the list grants to the principal
+// (zero if no term matches).
+func (a ACL) ModeFor(p Principal) hw.AccessMode {
+	for _, t := range a {
+		if t.Matches(p) {
+			return t.Mode
+		}
+	}
+	return 0
+}
+
+// Allows reports whether the list grants all modes in want to the
+// principal.
+func (a ACL) Allows(p Principal, want hw.AccessMode) bool {
+	return a.ModeFor(p).Has(want)
+}
+
+// Clone returns an independent copy.
+func (a ACL) Clone() ACL { return append(ACL(nil), a...) }
+
+// Owner returns an ACL granting full access to one principal only.
+func Owner(p Principal) ACL {
+	return ACL{{Pattern: string(p), Mode: hw.Read | hw.Write | hw.Execute}}
+}
+
+// Public returns an ACL granting mode to everyone.
+func Public(mode hw.AccessMode) ACL {
+	return ACL{{Pattern: "*", Mode: mode}}
+}

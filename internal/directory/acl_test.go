@@ -1,0 +1,104 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multics/internal/hw"
+)
+
+func TestPrincipalParts(t *testing.T) {
+	p := Principal("bob.sys")
+	if p.Person() != "bob" || p.Project() != "sys" {
+		t.Errorf("parts = %q, %q", p.Person(), p.Project())
+	}
+	q := Principal("alice")
+	if q.Person() != "alice" || q.Project() != "" {
+		t.Errorf("parts = %q, %q", q.Person(), q.Project())
+	}
+}
+
+func TestTermMatching(t *testing.T) {
+	cases := []struct {
+		pattern   string
+		principal Principal
+		want      bool
+	}{
+		{"bob.sys", "bob.sys", true},
+		{"bob.sys", "bob.dev", false},
+		{"bob.sys", "eve.sys", false},
+		{"bob.*", "bob.sys", true},
+		{"bob.*", "bob.dev", true},
+		{"bob.*", "eve.sys", false},
+		{"*.sys", "bob.sys", true},
+		{"*.sys", "bob.dev", false},
+		{"*.*", "anyone.anywhere", true},
+		{"*", "anyone.anywhere", true},
+		{"bob", "bob.sys", true}, // bare person pattern matches any project
+	}
+	for _, c := range cases {
+		got := Term{Pattern: c.pattern}.Matches(c.principal)
+		if got != c.want {
+			t.Errorf("%q matches %q = %v, want %v", c.pattern, c.principal, got, c.want)
+		}
+	}
+}
+
+func TestACLFirstMatchWins(t *testing.T) {
+	acl := ACL{
+		{Pattern: "eve.*", Mode: 0}, // explicit denial
+		{Pattern: "*.sys", Mode: hw.Read | hw.Write},
+		{Pattern: "*", Mode: hw.Read},
+	}
+	if got := acl.ModeFor("eve.sys"); got != 0 {
+		t.Errorf("eve.sys mode = %v, want denial from first term", got)
+	}
+	if got := acl.ModeFor("bob.sys"); got != hw.Read|hw.Write {
+		t.Errorf("bob.sys mode = %v", got)
+	}
+	if got := acl.ModeFor("stranger.elsewhere"); got != hw.Read {
+		t.Errorf("stranger mode = %v", got)
+	}
+	if !acl.Allows("bob.sys", hw.Read) || acl.Allows("stranger.x", hw.Write) {
+		t.Error("Allows wrong")
+	}
+}
+
+func TestOwnerAndPublic(t *testing.T) {
+	o := Owner("bob.sys")
+	if !o.Allows("bob.sys", hw.Read|hw.Write|hw.Execute) {
+		t.Error("owner lacks full access")
+	}
+	if o.ModeFor("eve.sys") != 0 {
+		t.Error("non-owner has access")
+	}
+	pub := Public(hw.Read)
+	if !pub.Allows("anyone.at-all", hw.Read) || pub.Allows("anyone.at-all", hw.Write) {
+		t.Error("Public wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := ACL{{Pattern: "*", Mode: hw.Read}}
+	b := a.Clone()
+	b[0].Mode = hw.Write
+	if a[0].Mode != hw.Read {
+		t.Error("Clone aliases the original")
+	}
+}
+
+// Property: a term with pattern "person.project" matches exactly the
+// principal with those components.
+func TestExactTermProperty(t *testing.T) {
+	f := func(p1, p2, q1, q2 uint8) bool {
+		person := string(rune('a' + p1%4))
+		project := string(rune('a' + p2%4))
+		other := Principal(string(rune('a'+q1%4)) + "." + string(rune('a'+q2%4)))
+		term := Term{Pattern: person + "." + project}
+		want := other.Person() == person && other.Project() == project
+		return term.Matches(other) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package directory
+
+import "hash/fnv"
+
+// An Identifier is the opaque handle the directory-searching primitive
+// returns. Real identifiers name directory entries; mythical
+// identifiers are deterministically fabricated for searches the caller
+// was not entitled to observe the result of, and are indistinguishable
+// from real ones: both are hash outputs of the same width, and a
+// mythical identifier is accepted anywhere a directory identifier is,
+// yielding further mythical identifiers. Only an attempt to actually
+// use the object at the end of a path reveals — as a bare "no access"
+// — that nothing was ever there (or that something was: the caller
+// cannot tell which).
+type Identifier uint64
+
+// idGen fabricates identifiers. Real ones hash a per-system secret
+// with a counter; mythical ones hash the secret with the (directory,
+// name) pair, so probing the same nonexistent path twice yields the
+// same identifier — just as a real entry would.
+type idGen struct {
+	secret uint64
+	count  uint64
+}
+
+func (g *idGen) hash(parts ...uint64) Identifier {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(p >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	return Identifier(h.Sum64())
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// real issues a fresh identifier for a new directory entry.
+func (g *idGen) real() Identifier {
+	g.count++
+	return g.hash(g.secret, 0x5ea1, g.count)
+}
+
+// mythical fabricates the stable identifier for name under dir.
+func (g *idGen) mythical(dir Identifier, name string) Identifier {
+	return g.hash(g.secret, 0x317, uint64(dir), hashString(name))
+}

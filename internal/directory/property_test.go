@@ -1,0 +1,217 @@
+package directory
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"multics/internal/aim"
+	"multics/internal/hw"
+)
+
+// TestWalkMatchesBuriedResolver builds random trees and checks that,
+// for every accessible leaf, component-wise expansion over the Search
+// primitive resolves to exactly the identifier the buried in-kernel
+// resolver finds. The two naming implementations must agree on the
+// entire accessible namespace.
+func TestWalkMatchesBuriedResolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(140)) // RFC number of the paper
+	for trial := 0; trial < 10; trial++ {
+		f := newFixture(t)
+		root := f.m.RootID()
+		type node struct {
+			id   Identifier
+			path []string
+		}
+		dirs := []node{{id: root}}
+		var leaves []node
+		for i := 0; i < 25; i++ {
+			parent := dirs[rng.Intn(len(dirs))]
+			name := fmt.Sprintf("n%d", i)
+			isDir := rng.Intn(3) != 0
+			id, err := f.m.Create(alice, aim.Bottom, parent.id, name, isDir, Public(hw.Read|hw.Write), aim.Bottom)
+			if err != nil {
+				t.Fatal(err)
+			}
+			child := node{id: id, path: append(append([]string{}, parent.path...), name)}
+			if isDir {
+				dirs = append(dirs, child)
+			} else {
+				leaves = append(leaves, child)
+			}
+		}
+		for _, leaf := range append(leaves, dirs[1:]...) {
+			// Component-wise walk over Search.
+			id := root
+			var err error
+			for _, name := range leaf.path {
+				id, err = f.m.Search(alice, aim.Bottom, id, name)
+				if err != nil {
+					t.Fatalf("walk %v: %v", leaf.path, err)
+				}
+			}
+			// The buried resolver.
+			buried, err := f.m.ResolvePathKernel(alice, aim.Bottom, leaf.path)
+			if err != nil {
+				t.Fatalf("buried resolve %v: %v", leaf.path, err)
+			}
+			if id != buried || id != leaf.id {
+				t.Fatalf("trial %d path %v: walk=%v buried=%v created=%v", trial, leaf.path, id, buried, leaf.id)
+			}
+		}
+	}
+}
+
+// TestMythicalStabilityProperty: mythical identifiers are a pure
+// function of (directory identifier, name) — probing any number of
+// times, in any order, yields the same values, and distinct names
+// yield distinct identifiers (no collisions among a realistic probe
+// set).
+func TestMythicalStabilityProperty(t *testing.T) {
+	f := newFixture(t)
+	root := f.m.RootID()
+	hidden, err := f.m.Create(alice, aim.Bottom, root, "hidden", true, ACL{{Pattern: string(alice), Mode: hw.Read | hw.Write}}, aim.Bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[Identifier]string)
+	var order []string
+	for i := 0; i < 200; i++ {
+		order = append(order, fmt.Sprintf("ghost-%d", i))
+	}
+	rand.New(rand.NewSource(7)).Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	first := make(map[string]Identifier)
+	for pass := 0; pass < 3; pass++ {
+		for _, name := range order {
+			id, err := f.m.Search(eve, aim.Bottom, hidden, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev, ok := first[name]; ok {
+				if prev != id {
+					t.Fatalf("mythical id for %q changed: %v then %v", name, prev, id)
+				}
+				continue
+			}
+			first[name] = id
+			if other, dup := seen[id]; dup {
+				t.Fatalf("mythical collision: %q and %q both map to %v", name, other, id)
+			}
+			seen[id] = name
+		}
+	}
+}
+
+// TestConcurrentDirectoryOperations: parallel creates, searches and
+// lists against one directory neither corrupt it nor deadlock.
+func TestConcurrentDirectoryOperations(t *testing.T) {
+	f := newFixture(t)
+	root := f.m.RootID()
+	dirID, err := f.m.Create(alice, aim.Bottom, root, "shared", true, Public(hw.Read|hw.Write), aim.Bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("w%d-f%d", w, i)
+				if _, err := f.m.Create(alice, aim.Bottom, dirID, name, false, nil, aim.Bottom); err != nil {
+					errs <- fmt.Errorf("create %s: %w", name, err)
+					return
+				}
+				if _, err := f.m.Search(alice, aim.Bottom, dirID, name); err != nil {
+					errs <- fmt.Errorf("search %s: %w", name, err)
+					return
+				}
+				if _, err := f.m.List(alice, aim.Bottom, dirID); err != nil {
+					errs <- fmt.Errorf("list: %w", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	names, err := f.m.List(alice, aim.Bottom, dirID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != workers*perWorker {
+		t.Errorf("directory holds %d names, want %d", len(names), workers*perWorker)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	s := Term{Pattern: "bob.sys", Mode: hw.Read | hw.Write}.String()
+	if s != "bob.sys:rw-" {
+		t.Errorf("Term.String = %q", s)
+	}
+}
+
+func TestRename(t *testing.T) {
+	f := newFixture(t)
+	root := f.m.RootID()
+	dirID, err := f.m.Create(alice, aim.Bottom, root, "d", true, ACL{
+		{Pattern: string(alice), Mode: hw.Read | hw.Write},
+		{Pattern: "*", Mode: hw.Read},
+	}, aim.Bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileID, err := f.m.Create(alice, aim.Bottom, dirID, "old", false, Owner(alice), aim.Bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.m.Create(alice, aim.Bottom, dirID, "taken", false, nil, aim.Bottom); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.m.Rename(alice, aim.Bottom, dirID, "old", "taken"); err == nil {
+		t.Error("rename onto an existing name succeeded")
+	}
+	if err := f.m.Rename(alice, aim.Bottom, dirID, "ghost", "x"); err == nil {
+		t.Error("rename of a missing name succeeded")
+	}
+	if err := f.m.Rename(eve, aim.Bottom, dirID, "old", "new"); err == nil {
+		t.Error("rename without modify access succeeded")
+	}
+	if err := f.m.Rename(alice, aim.Bottom, dirID, "old", "new"); err != nil {
+		t.Fatal(err)
+	}
+	// The identifier is unchanged; only the binding moved.
+	got, err := f.m.Search(alice, aim.Bottom, dirID, "new")
+	if err != nil || got != fileID {
+		t.Errorf("Search(new) = %v, %v", got, err)
+	}
+	if _, err := f.m.Search(alice, aim.Bottom, dirID, "old"); err == nil {
+		t.Error("old name still resolves")
+	}
+	// Renaming a directory keeps its subtree reachable.
+	subID, err := f.m.Create(alice, aim.Bottom, dirID, "sub", true, Public(hw.Read|hw.Write), aim.Bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafID, err := f.m.Create(alice, aim.Bottom, subID, "leaf", false, nil, aim.Bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.m.Rename(alice, aim.Bottom, dirID, "sub", "moved"); err != nil {
+		t.Fatal(err)
+	}
+	got, err = f.m.ResolvePathKernel(alice, aim.Bottom, []string{"d", "moved", "leaf"})
+	if err != nil || got != leafID {
+		t.Errorf("post-rename resolve = %v, %v", got, err)
+	}
+	if _, err := f.m.Create(alice, aim.Bottom, subID, "leaf2", false, nil, aim.Bottom); err != nil {
+		t.Errorf("create in renamed directory: %v", err)
+	}
+}

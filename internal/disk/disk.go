@@ -1,0 +1,466 @@
+// Package disk simulates the secondary-storage substrate of Multics:
+// demountable disk packs, each with a table of contents naming the
+// segments it stores, and per-segment file maps allocating one record
+// per non-zero page.
+//
+// The details the paper's arguments depend on are reproduced exactly:
+//
+//   - a directory entry names a segment by pack identifier and an
+//     index into that pack's table of contents;
+//   - for robustness and demountability, all pages of a segment live
+//     on the same pack, so growing a segment can raise a full-pack
+//     exception that forces the whole segment to move to an emptier
+//     pack and the directory entry to be updated;
+//   - page-sized blocks of zeros are represented by flags in the file
+//     map rather than by allocated records, so a 100-page file that is
+//     non-zero in only two pages is charged for two records.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"multics/internal/hw"
+)
+
+// ErrPackFull is reported when a record allocation finds no free
+// record on the pack: the full-disk-pack exception of the paper.
+var ErrPackFull = errors.New("disk: pack full")
+
+// RecordAddr is the index of one 1024-word record on a pack.
+type RecordAddr int
+
+// TOCIndex is an index into a pack's table of contents.
+type TOCIndex int
+
+// SegAddr is the permanent name of a segment's storage: the containing
+// pack and the index of its table-of-contents entry. This is the form
+// in which a file-system directory entry names a segment.
+type SegAddr struct {
+	Pack string
+	TOC  TOCIndex
+}
+
+func (a SegAddr) String() string { return fmt.Sprintf("%s:%d", a.Pack, int(a.TOC)) }
+
+// PageState classifies one page in a file map.
+type PageState int
+
+const (
+	// PageUnallocated marks a page that has never been used. A
+	// reference to it is what raises the quota exception.
+	PageUnallocated PageState = iota
+	// PageZero marks a page whose contents are entirely zero and is
+	// therefore represented by this flag alone, with no record.
+	PageZero
+	// PageStored marks a page stored in a disk record.
+	PageStored
+)
+
+func (s PageState) String() string {
+	switch s {
+	case PageUnallocated:
+		return "unallocated"
+	case PageZero:
+		return "zero"
+	case PageStored:
+		return "stored"
+	default:
+		return fmt.Sprintf("pagestate(%d)", int(s))
+	}
+}
+
+// A FileMapEntry locates one page of a segment.
+type FileMapEntry struct {
+	State  PageState
+	Record RecordAddr
+}
+
+// A QuotaCell is the storage-quota record kept in the table-of-contents
+// entry of a directory that has been designated a quota directory: a
+// limit on the pages chargeable to the subtree and the count of pages
+// currently used. The quota cell manager caches these in primary
+// memory; this struct is their home on disk.
+type QuotaCell struct {
+	Valid bool
+	Limit int
+	Used  int
+}
+
+// A TOCEntry describes one segment stored on a pack.
+type TOCEntry struct {
+	// UID is the segment's system-wide unique identifier.
+	UID uint64
+	// Dir records that the segment holds a directory.
+	Dir bool
+	// Map is the file map, one entry per page.
+	Map []FileMapEntry
+	// Quota is the quota cell, meaningful only for quota
+	// directories.
+	Quota QuotaCell
+	live  bool
+}
+
+// Records reports the number of disk records the entry occupies (its
+// chargeable size).
+func (e *TOCEntry) Records() int {
+	n := 0
+	for _, m := range e.Map {
+		if m.State == PageStored {
+			n++
+		}
+	}
+	return n
+}
+
+// A Pack is one demountable disk pack: a fixed number of records, a
+// free list, and a table of contents. All methods are safe for
+// concurrent use.
+type Pack struct {
+	id       string
+	capacity int
+
+	mu      sync.Mutex
+	mounted bool
+	used    int
+	free    []RecordAddr
+	data    map[RecordAddr][]hw.Word
+	toc     []TOCEntry
+	meter   *hw.CostMeter
+}
+
+// NewPack returns a mounted pack with the given identifier and record
+// capacity, metering transfers onto meter (which may be nil).
+func NewPack(id string, capacity int, meter *hw.CostMeter) *Pack {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("disk: NewPack capacity = %d", capacity))
+	}
+	p := &Pack{
+		id:       id,
+		capacity: capacity,
+		mounted:  true,
+		data:     make(map[RecordAddr][]hw.Word),
+		meter:    meter,
+	}
+	for r := capacity - 1; r >= 0; r-- {
+		p.free = append(p.free, RecordAddr(r))
+	}
+	return p
+}
+
+// ID returns the pack identifier.
+func (p *Pack) ID() string { return p.id }
+
+// Capacity reports the total number of records.
+func (p *Pack) Capacity() int { return p.capacity }
+
+// FreeRecords reports the number of unallocated records.
+func (p *Pack) FreeRecords() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// UsedRecords reports the number of allocated records.
+func (p *Pack) UsedRecords() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.used
+}
+
+func (p *Pack) checkMounted() error {
+	if !p.mounted {
+		return fmt.Errorf("disk: pack %s is not mounted", p.id)
+	}
+	return nil
+}
+
+// AllocRecord allocates one record, returning ErrPackFull when none
+// remain.
+func (p *Pack) AllocRecord() (RecordAddr, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkMounted(); err != nil {
+		return 0, err
+	}
+	if len(p.free) == 0 {
+		return 0, ErrPackFull
+	}
+	r := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.used++
+	return r, nil
+}
+
+// FreeRecord returns a record to the free list and discards its
+// contents.
+func (p *Pack) FreeRecord(r RecordAddr) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkMounted(); err != nil {
+		return err
+	}
+	if r < 0 || int(r) >= p.capacity {
+		return fmt.Errorf("disk: record %d outside pack %s of %d records", r, p.id, p.capacity)
+	}
+	delete(p.data, r)
+	p.free = append(p.free, r)
+	p.used--
+	return nil
+}
+
+// ReadRecord copies record r into dst (PageWords words). Reading a
+// never-written record yields zeros.
+func (p *Pack) ReadRecord(r RecordAddr, dst []hw.Word) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkMounted(); err != nil {
+		return err
+	}
+	if len(dst) != hw.PageWords {
+		return fmt.Errorf("disk: ReadRecord buffer of %d words, want %d", len(dst), hw.PageWords)
+	}
+	if r < 0 || int(r) >= p.capacity {
+		return fmt.Errorf("disk: record %d outside pack %s", r, p.id)
+	}
+	p.meter.Add(hw.CycDiskSeek + hw.CycDiskRecord)
+	if d, ok := p.data[r]; ok {
+		copy(dst, d)
+	} else {
+		clear(dst)
+	}
+	return nil
+}
+
+// WriteRecord stores src (PageWords words) into record r.
+func (p *Pack) WriteRecord(r RecordAddr, src []hw.Word) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkMounted(); err != nil {
+		return err
+	}
+	if len(src) != hw.PageWords {
+		return fmt.Errorf("disk: WriteRecord buffer of %d words, want %d", len(src), hw.PageWords)
+	}
+	if r < 0 || int(r) >= p.capacity {
+		return fmt.Errorf("disk: record %d outside pack %s", r, p.id)
+	}
+	p.meter.Add(hw.CycDiskSeek + hw.CycDiskRecord)
+	d, ok := p.data[r]
+	if !ok {
+		d = make([]hw.Word, hw.PageWords)
+		p.data[r] = d
+	}
+	copy(d, src)
+	return nil
+}
+
+// CreateEntry allocates a table-of-contents entry for a new segment
+// with the given unique identifier.
+func (p *Pack) CreateEntry(uid uint64, dir bool) (TOCIndex, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkMounted(); err != nil {
+		return 0, err
+	}
+	for i := range p.toc {
+		if !p.toc[i].live {
+			p.toc[i] = TOCEntry{UID: uid, Dir: dir, live: true}
+			return TOCIndex(i), nil
+		}
+	}
+	p.toc = append(p.toc, TOCEntry{UID: uid, Dir: dir, live: true})
+	return TOCIndex(len(p.toc) - 1), nil
+}
+
+// DeleteEntry removes a table-of-contents entry, freeing every record
+// its file map holds.
+func (p *Pack) DeleteEntry(idx TOCIndex) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, err := p.entry(idx)
+	if err != nil {
+		return err
+	}
+	for _, m := range e.Map {
+		if m.State == PageStored {
+			delete(p.data, m.Record)
+			p.free = append(p.free, m.Record)
+			p.used--
+		}
+	}
+	*e = TOCEntry{}
+	return nil
+}
+
+func (p *Pack) entry(idx TOCIndex) (*TOCEntry, error) {
+	if idx < 0 || int(idx) >= len(p.toc) || !p.toc[idx].live {
+		return nil, fmt.Errorf("disk: no table-of-contents entry %d on pack %s", idx, p.id)
+	}
+	return &p.toc[idx], nil
+}
+
+// Entry returns a copy of table-of-contents entry idx.
+func (p *Pack) Entry(idx TOCIndex) (TOCEntry, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, err := p.entry(idx)
+	if err != nil {
+		return TOCEntry{}, err
+	}
+	cp := *e
+	cp.Map = append([]FileMapEntry(nil), e.Map...)
+	return cp, nil
+}
+
+// UpdateEntry applies fn to table-of-contents entry idx under the pack
+// lock. If fn returns an error the entry keeps any changes fn already
+// made; callers use this only for atomic read-modify-write.
+func (p *Pack) UpdateEntry(idx TOCIndex, fn func(*TOCEntry) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, err := p.entry(idx)
+	if err != nil {
+		return err
+	}
+	return fn(e)
+}
+
+// EachEntry calls fn for every live table-of-contents entry with a
+// copy of the entry.
+func (p *Pack) EachEntry(fn func(TOCIndex, TOCEntry)) {
+	p.mu.Lock()
+	snapshot := make([]TOCEntry, len(p.toc))
+	copy(snapshot, p.toc)
+	p.mu.Unlock()
+	for i, e := range snapshot {
+		if e.live {
+			cp := e
+			cp.Map = append([]FileMapEntry(nil), e.Map...)
+			fn(TOCIndex(i), cp)
+		}
+	}
+}
+
+// Entries reports the number of live table-of-contents entries.
+func (p *Pack) Entries() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for i := range p.toc {
+		if p.toc[i].live {
+			n++
+		}
+	}
+	return n
+}
+
+// Volumes is the disk volume control module: the registry of mounted
+// packs. It is the lowest module of the file system proper.
+type Volumes struct {
+	mu    sync.Mutex
+	packs map[string]*Pack
+	meter *hw.CostMeter
+}
+
+// NewVolumes returns an empty volume registry.
+func NewVolumes(meter *hw.CostMeter) *Volumes {
+	return &Volumes{packs: make(map[string]*Pack), meter: meter}
+}
+
+// AddPack creates and mounts a new pack.
+func (v *Volumes) AddPack(id string, capacity int) (*Pack, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.packs[id]; ok {
+		return nil, fmt.Errorf("disk: pack %s already mounted", id)
+	}
+	p := NewPack(id, capacity, v.meter)
+	v.packs[id] = p
+	return p, nil
+}
+
+// Pack returns the mounted pack with the given identifier.
+func (v *Volumes) Pack(id string) (*Pack, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	p, ok := v.packs[id]
+	if !ok {
+		return nil, fmt.Errorf("disk: no mounted pack %s", id)
+	}
+	return p, nil
+}
+
+// Mount returns a previously demounted pack to service under its own
+// identifier: demountability is the point of keeping every page of a
+// segment on one pack.
+func (v *Volumes) Mount(p *Pack) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.packs[p.ID()]; ok {
+		return fmt.Errorf("disk: pack %s already mounted", p.ID())
+	}
+	p.mu.Lock()
+	p.mounted = true
+	p.mu.Unlock()
+	v.packs[p.ID()] = p
+	return nil
+}
+
+// Demount removes a pack from the registry. Its contents survive in
+// the returned Pack but no further transfers are honoured.
+func (v *Volumes) Demount(id string) (*Pack, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	p, ok := v.packs[id]
+	if !ok {
+		return nil, fmt.Errorf("disk: no mounted pack %s", id)
+	}
+	delete(v.packs, id)
+	p.mu.Lock()
+	p.mounted = false
+	p.mu.Unlock()
+	return p, nil
+}
+
+// Emptiest returns the mounted pack with the most free records,
+// excluding the named pack; the segment-relocation path uses it to
+// choose the destination after a full-pack exception. It returns an
+// error when no other pack has free space.
+func (v *Volumes) Emptiest(exclude string) (*Pack, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var ids []string
+	for id := range v.packs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic tie-break
+	var best *Pack
+	for _, id := range ids {
+		p := v.packs[id]
+		if id == exclude {
+			continue
+		}
+		if best == nil || p.FreeRecords() > best.FreeRecords() {
+			best = p
+		}
+	}
+	if best == nil || best.FreeRecords() == 0 {
+		return nil, fmt.Errorf("disk: no pack with free space (excluding %s)", exclude)
+	}
+	return best, nil
+}
+
+// Packs returns the identifiers of all mounted packs, sorted.
+func (v *Volumes) Packs() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var ids []string
+	for id := range v.packs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,105 @@
+package hw
+
+import "sync/atomic"
+
+// Simulated cycle costs for the operation classes the paper's
+// performance discussion turns on. The absolute values are arbitrary;
+// only their ratios matter, and those are chosen so that the shapes the
+// paper reports (ring crossings dominating a moved-out linker, IPC
+// adding a small unavoidable cost to a multi-process memory manager,
+// and so on) emerge from the model rather than being asserted.
+const (
+	// CycMemRef is one primary-memory word reference.
+	CycMemRef = 1
+	// CycTableWalk is one address translation (descriptor fetch,
+	// page-table fetch) when the translation hits.
+	CycTableWalk = 2
+	// CycFault is the hardware cost of taking any exception: saving
+	// processor state and transferring to the handler.
+	CycFault = 50
+	// CycRingCross is one crossing of a protection-ring boundary
+	// (a gate call or its return), including argument validation.
+	CycRingCross = 30
+	// CycIPC is one message through the real-memory message queue
+	// between the virtual-processor level and the user-process level
+	// (send, wakeup, receive).
+	CycIPC = 120
+	// CycDispatch is one virtual-processor dispatch (binding a
+	// process state to a processor).
+	CycDispatch = 80
+	// CycProcessSwap is loading or storing a user-process state
+	// through the virtual memory (the expensive, top-level half of
+	// the two-level process implementation).
+	CycProcessSwap = 400
+	// CycDiskSeek is positioning a disk pack before a transfer.
+	CycDiskSeek = 1000
+	// CycDiskRecord is transferring one 1024-word record.
+	CycDiskRecord = 2000
+	// CycLockWait is one spin on a held global lock (baseline page
+	// control) or locked descriptor (kernel design).
+	CycLockWait = 5
+)
+
+// Language identifies the implementation language of a module body for
+// the cost model. The paper reports that recoding an assembly-language
+// module in PL/I roughly halves its source lines but slightly more
+// than doubles its generated instructions; BodyCycles reproduces that
+// factor.
+type Language int
+
+const (
+	// ASM is hand-coded assembly language (ALM).
+	ASM Language = iota
+	// PLI is PL/I, the system programming language of Multics.
+	PLI
+)
+
+// PLIInstructionFactor is the instruction-count penalty, in tenths, of
+// a PL/I body relative to the same algorithm in assembly ("somewhat
+// more than a factor of two" -- Huber 1976). 22 means x2.2.
+const PLIInstructionFactor = 22
+
+// BodyCycles returns the simulated cycles consumed by an algorithm
+// body whose assembly-language cost would be base cycles, when coded
+// in lang.
+func BodyCycles(base int64, lang Language) int64 {
+	if lang == PLI {
+		return base * PLIInstructionFactor / 10
+	}
+	return base
+}
+
+// A CostMeter accumulates simulated machine cycles. It is safe for
+// concurrent use (the multiprocessor fault tests run two simulated
+// processors against one meter).
+type CostMeter struct {
+	cycles atomic.Int64
+}
+
+// Add accrues n simulated cycles.
+func (m *CostMeter) Add(n int64) {
+	if m != nil {
+		m.cycles.Add(n)
+	}
+}
+
+// AddBody accrues the cost of an algorithm body of base assembly
+// cycles implemented in lang.
+func (m *CostMeter) AddBody(base int64, lang Language) {
+	m.Add(BodyCycles(base, lang))
+}
+
+// Cycles reports the total simulated cycles accrued so far.
+func (m *CostMeter) Cycles() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.cycles.Load()
+}
+
+// Reset zeroes the meter.
+func (m *CostMeter) Reset() {
+	if m != nil {
+		m.cycles.Store(0)
+	}
+}

@@ -1,0 +1,179 @@
+package hw
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// NRings is the number of protection rings (Multics hardware provides
+// eight).
+const NRings = 8
+
+// KernelRing is the ring of the security kernel (ring zero).
+const KernelRing = 0
+
+// UserRing is the ring in which ordinary user programs execute.
+const UserRing = 4
+
+// A Processor simulates one CPU. It holds the two descriptor base
+// registers of the kernel design: SystemDT, the permanently resident
+// descriptor table through which all segment numbers below SystemSegMax
+// translate, and UserDT, the per-process table for user segment
+// numbers. It also carries the per-processor state the paper adds to
+// make the two-level process design work: the wakeup-waiting switch
+// and the locked-descriptor-address register.
+type Processor struct {
+	ID    int
+	Mem   *Memory
+	Meter *CostMeter
+
+	// SystemDT translates segment numbers < SystemSegMax. It is
+	// fixed at initialization; kernel modules using such numbers
+	// therefore cannot depend on the user address-space machinery.
+	SystemDT     *DescriptorTable
+	SystemSegMax int
+	// UserDT translates segment numbers >= SystemSegMax. It changes
+	// on every user-process dispatch.
+	UserDT *DescriptorTable
+
+	// Ring is the current validation ring.
+	Ring int
+
+	// DescriptorLockHW enables the descriptor-lock addition: a
+	// missing-page fault atomically sets the descriptor's lock bit.
+	// The baseline (1974) processor runs with this false and its
+	// page control must take a global lock and interpretively
+	// retranslate.
+	DescriptorLockHW bool
+
+	// wakeupWaiting is the per-processor switch that prevents a
+	// lost notification between a locked-descriptor fault and the
+	// wait primitive.
+	wakeupWaiting atomic.Bool
+
+	// lockedSeg/lockedPage form the register recording the address
+	// of the descriptor whose lock bit caused the most recent
+	// locked-descriptor or missing-page fault.
+	lockedSeg  atomic.Int64
+	lockedPage atomic.Int64
+}
+
+// NewProcessor returns a processor with the given id attached to mem,
+// metering onto meter (which may be nil).
+func NewProcessor(id int, mem *Memory, meter *CostMeter) *Processor {
+	return &Processor{ID: id, Mem: mem, Meter: meter, Ring: KernelRing}
+}
+
+// tableFor selects the descriptor table and reports whether the
+// segment number is a system number.
+func (p *Processor) tableFor(segno int) (*DescriptorTable, bool) {
+	if p.SystemDT != nil && segno < p.SystemSegMax {
+		return p.SystemDT, true
+	}
+	return p.UserDT, false
+}
+
+// Translate performs a full address translation of (segno, offset) for
+// a reference of the given mode, accruing cycle costs, and returns the
+// absolute memory address. On an exception it returns a *Fault; for
+// missing-page faults on descriptor-lock hardware the fault records
+// that this processor set the lock bit, and the locked-descriptor-
+// address register is loaded.
+func (p *Processor) Translate(segno, offset int, mode AccessMode) (int, error) {
+	p.Meter.Add(CycTableWalk)
+	dt, system := p.tableFor(segno)
+	if dt == nil {
+		return 0, &Fault{Kind: FaultMissingSegment, Seg: segno, Offset: offset, Ring: p.Ring}
+	}
+	sdw, err := dt.Get(segno)
+	if err != nil || !sdw.Present || sdw.Table == nil {
+		return 0, &Fault{Kind: FaultMissingSegment, Seg: segno, Offset: offset, Ring: p.Ring}
+	}
+	if system && p.Ring > KernelRing {
+		// System segment numbers are not visible outside ring 0.
+		return 0, &Fault{Kind: FaultAccess, Seg: segno, Offset: offset, Ring: p.Ring}
+	}
+	if p.Ring > sdw.MaxRing || !sdw.Access.Has(mode) || (mode.Has(Write) && p.Ring > sdw.WriteRing) {
+		return 0, &Fault{Kind: FaultAccess, Seg: segno, Offset: offset, Write: mode.Has(Write), Ring: p.Ring}
+	}
+	if offset < 0 {
+		return 0, &Fault{Kind: FaultBounds, Seg: segno, Offset: offset, Ring: p.Ring}
+	}
+	page := PageOf(offset)
+	ptw, kind, faulted, locked := sdw.Table.translate(page, mode.Has(Write), p.DescriptorLockHW)
+	if faulted {
+		p.Meter.Add(CycFault)
+		if kind == FaultLockedDescriptor || (kind == FaultMissingPage && locked) {
+			p.lockedSeg.Store(int64(segno))
+			p.lockedPage.Store(int64(page))
+		}
+		return 0, &Fault{
+			Kind: kind, Seg: segno, Offset: offset, Page: page,
+			Write: mode.Has(Write), Ring: p.Ring, Locked: locked,
+		}
+	}
+	p.Meter.Add(CycMemRef)
+	return p.Mem.FrameBase(ptw.Frame) + offset%PageWords, nil
+}
+
+// Read loads the word at virtual address (segno, offset).
+func (p *Processor) Read(segno, offset int) (Word, error) {
+	addr, err := p.Translate(segno, offset, Read)
+	if err != nil {
+		return 0, err
+	}
+	return p.Mem.Read(addr)
+}
+
+// Write stores w at virtual address (segno, offset).
+func (p *Processor) Write(segno, offset int, w Word) error {
+	addr, err := p.Translate(segno, offset, Write)
+	if err != nil {
+		return err
+	}
+	return p.Mem.Write(addr, w)
+}
+
+// GateCall simulates a call through a gate into ring to, accruing the
+// ring-crossing cost, running fn, and returning to the original ring
+// (a second crossing). Calls inward to a non-gate segment fault.
+func (p *Processor) GateCall(to int, gate bool, fn func() error) error {
+	if to < 0 || to >= NRings {
+		return fmt.Errorf("hw: gate call to ring %d", to)
+	}
+	if to < p.Ring && !gate {
+		p.Meter.Add(CycFault)
+		return &Fault{Kind: FaultGate, Ring: p.Ring}
+	}
+	from := p.Ring
+	if to != from {
+		p.Meter.Add(CycRingCross)
+	}
+	p.Ring = to
+	err := fn()
+	p.Ring = from
+	if to != from {
+		p.Meter.Add(CycRingCross)
+	}
+	return err
+}
+
+// SetWakeupWaiting sets the wakeup-waiting switch; it is set by the
+// hardware/handler just before a processor decides to wait for a
+// locked descriptor, so that a notification arriving in the window
+// between the fault and the wait primitive is not lost.
+func (p *Processor) SetWakeupWaiting() { p.wakeupWaiting.Store(true) }
+
+// ClearWakeupWaiting clears the switch, reporting whether it was set.
+// The notify path clears it; a true result means a notification
+// arrived and the wait primitive should return immediately.
+func (p *Processor) ClearWakeupWaiting() bool { return p.wakeupWaiting.Swap(false) }
+
+// WakeupWaiting reports the switch without clearing it.
+func (p *Processor) WakeupWaiting() bool { return p.wakeupWaiting.Load() }
+
+// LockedDescriptor reports the segment and page number held in the
+// locked-descriptor-address register.
+func (p *Processor) LockedDescriptor() (segno, page int) {
+	return int(p.lockedSeg.Load()), int(p.lockedPage.Load())
+}

@@ -1,0 +1,271 @@
+// Package netmux implements the connection of the system to
+// multiplexed networks — the area Ciccarelli's project attacked.
+//
+// Two multiplexed communication streams attach to Multics: the
+// ARPANET and the local front-end processor with its terminals. In
+// the original organization each network's full protocol handler
+// lived in ring zero (about 7,000 lines for the two streams, 20% of
+// the supervisor), and attaching a third network would have added a
+// third in-kernel handler: kernel bulk grew linearly with networks.
+//
+// The redesign keeps only a small, network-independent demultiplexer
+// in the kernel — it reads enough of each frame to route it to the
+// owning connection — and moves the per-network protocol processing
+// to the user domain. The kernel residue shrinks below 1,000 lines
+// and grows only slightly per attached network.
+package netmux
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"multics/internal/hw"
+)
+
+// Mode selects the organization.
+type Mode int
+
+const (
+	// PerNetworkKernel: one full protocol handler per network in
+	// ring zero (the original organization).
+	PerNetworkKernel Mode = iota
+	// GenericKernel: a network-independent demultiplexer in the
+	// kernel; protocol handlers in the user ring.
+	GenericKernel
+)
+
+func (m Mode) String() string {
+	if m == PerNetworkKernel {
+		return "per-network-kernel"
+	}
+	return "generic-kernel"
+}
+
+// Source-line model for the census: the original organization costs
+// PerNetworkLines of kernel per attached network; the redesign costs
+// a fixed GenericBaseLines plus a small per-network attachment stub.
+const (
+	PerNetworkLines    = 3500
+	GenericBaseLines   = 800
+	GenericPerNetLines = 60
+)
+
+// KernelLines reports the kernel source lines for n attached networks
+// under each organization.
+func KernelLines(m Mode, n int) int {
+	if m == PerNetworkKernel {
+		return PerNetworkLines * n
+	}
+	return GenericBaseLines + GenericPerNetLines*n
+}
+
+// Algorithm-body costs per frame.
+const (
+	bodyProtocol = 90 // full protocol processing for one frame
+	bodyDemux    = 15 // generic header inspection and routing
+)
+
+// A Frame is one unit arriving on a multiplexed stream: a channel
+// number and a payload.
+type Frame struct {
+	Channel int
+	Payload []hw.Word
+}
+
+// A Network frames and unframes one multiplexed stream.
+type Network interface {
+	// Name identifies the network ("arpanet", "front-end").
+	Name() string
+	// Channels reports how many subchannels the stream multiplexes.
+	Channels() int
+	// Process performs the per-network protocol work for a frame,
+	// returning the connection-ready data.
+	Process(f Frame) ([]hw.Word, error)
+}
+
+// ErrBadChannel reports a frame for a channel the network does not
+// multiplex.
+var ErrBadChannel = errors.New("netmux: no such channel")
+
+// A Delivery is one demultiplexed unit handed to a connection.
+type Delivery struct {
+	Network string
+	Channel int
+	Data    []hw.Word
+}
+
+// A Mux is the multiplexed-stream attachment point.
+type Mux struct {
+	Mode  Mode
+	meter *hw.CostMeter
+
+	mu       sync.Mutex
+	networks map[string]Network
+	order    []string
+	// queues hold delivered data per (network, channel).
+	queues    map[string]map[int][]Delivery
+	delivered int64
+}
+
+// New returns a mux in the given organization.
+func New(mode Mode, meter *hw.CostMeter) *Mux {
+	return &Mux{
+		Mode:     mode,
+		meter:    meter,
+		networks: make(map[string]Network),
+		queues:   make(map[string]map[int][]Delivery),
+	}
+}
+
+// Attach connects a network to the system.
+func (m *Mux) Attach(n Network) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.networks[n.Name()]; ok {
+		return fmt.Errorf("netmux: network %s already attached", n.Name())
+	}
+	m.networks[n.Name()] = n
+	m.order = append(m.order, n.Name())
+	m.queues[n.Name()] = make(map[int][]Delivery)
+	return nil
+}
+
+// Networks returns the attached network names in attachment order.
+func (m *Mux) Networks() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.order...)
+}
+
+// KernelLines reports the kernel bulk of the current attachment set.
+func (m *Mux) KernelLines() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return KernelLines(m.Mode, len(m.networks))
+}
+
+// Deliver processes one arriving frame. In the original organization
+// the whole protocol runs in the kernel; in the redesign the kernel
+// only demultiplexes, and the protocol body runs in the user ring
+// (cpu, which may be nil, carries the ring crossings).
+func (m *Mux) Deliver(cpu *hw.Processor, network string, f Frame) error {
+	m.mu.Lock()
+	n, ok := m.networks[network]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("netmux: no network %s", network)
+	}
+	if f.Channel < 0 || f.Channel >= n.Channels() {
+		return fmt.Errorf("%w: %s channel %d", ErrBadChannel, network, f.Channel)
+	}
+	var data []hw.Word
+	var err error
+	switch m.Mode {
+	case PerNetworkKernel:
+		// Everything in ring zero: one handler per network.
+		err = m.gate(cpu, func() error {
+			m.meter.AddBody(bodyProtocol, hw.PLI)
+			data, err = n.Process(f)
+			return err
+		})
+	case GenericKernel:
+		// The kernel routes; the protocol runs as user code, then
+		// hands the connection data back through a gate.
+		if gerr := m.gate(cpu, func() error {
+			m.meter.AddBody(bodyDemux, hw.PLI)
+			return nil
+		}); gerr != nil {
+			return gerr
+		}
+		m.meter.AddBody(bodyProtocol, hw.PLI)
+		data, err = n.Process(f)
+	}
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q := m.queues[network]
+	q[f.Channel] = append(q[f.Channel], Delivery{Network: network, Channel: f.Channel, Data: data})
+	m.delivered++
+	return nil
+}
+
+func (m *Mux) gate(cpu *hw.Processor, fn func() error) error {
+	if cpu == nil {
+		return fn()
+	}
+	return cpu.GateCall(hw.KernelRing, true, fn)
+}
+
+// Receive pops the next delivery for a connection.
+func (m *Mux) Receive(network string, channel int) (Delivery, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q, ok := m.queues[network]
+	if !ok || len(q[channel]) == 0 {
+		return Delivery{}, false
+	}
+	d := q[channel][0]
+	q[channel] = q[channel][1:]
+	return d, true
+}
+
+// Delivered reports the total frames delivered.
+func (m *Mux) Delivered() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.delivered
+}
+
+// Arpanet is a simulated ARPANET attachment: frames carry a host-link
+// header word the protocol strips and checksums.
+type Arpanet struct {
+	Links int
+}
+
+// Name implements Network.
+func (a Arpanet) Name() string { return "arpanet" }
+
+// Channels implements Network.
+func (a Arpanet) Channels() int { return a.Links }
+
+// Process strips the leader word and verifies its parity bit, the
+// simulated NCP-style protocol work.
+func (a Arpanet) Process(f Frame) ([]hw.Word, error) {
+	if len(f.Payload) < 1 {
+		return nil, errors.New("arpanet: frame without leader")
+	}
+	leader := f.Payload[0]
+	var parity hw.Word
+	for _, w := range f.Payload[1:] {
+		parity ^= w
+	}
+	if leader&1 != parity&1 {
+		return nil, errors.New("arpanet: leader parity mismatch")
+	}
+	return f.Payload[1:], nil
+}
+
+// FrontEnd is the simulated local front-end processor multiplexing
+// terminals: frames carry characters with a trailing end-of-block
+// sentinel.
+type FrontEnd struct {
+	Terminals int
+}
+
+// Name implements Network.
+func (t FrontEnd) Name() string { return "front-end" }
+
+// Channels implements Network.
+func (t FrontEnd) Channels() int { return t.Terminals }
+
+// Process strips the end-of-block sentinel and rejects unterminated
+// blocks.
+func (t FrontEnd) Process(f Frame) ([]hw.Word, error) {
+	if len(f.Payload) == 0 || f.Payload[len(f.Payload)-1] != 0o777 {
+		return nil, errors.New("front-end: unterminated block")
+	}
+	return f.Payload[:len(f.Payload)-1], nil
+}

@@ -1,0 +1,617 @@
+// Package pageframe implements the page frame manager: the module of
+// the kernel design that multiplexes the pageable frames of primary
+// memory among segment pages.
+//
+// Its interface is deliberately below the segment abstraction: callers
+// (the segment manager) hand it explicit page tables, packs and record
+// addresses, so the page frame manager never reads the active segment
+// table or the directory hierarchy — the direct cross-module data
+// references that riddled the 1974 page control are structurally
+// impossible here.
+//
+// Three details of the paper are reproduced:
+//
+//   - Fault service uses the descriptor lock bit set by the hardware;
+//     when service completes the manager unlocks the descriptor and
+//     notifies every process waiting on it (including processors that
+//     had not yet reached the wait primitive, via the wakeup-waiting
+//     switch). No interpretive retranslation of the faulting address
+//     is ever needed.
+//
+//   - Adding a never-before-used page to a segment allocates a disk
+//     record; when the pack is full the resulting exception is
+//     returned up the call chain for the segment manager to handle by
+//     relocation.
+//
+//   - The page-removal algorithm scans the contents of pages about to
+//     be removed; a page of all zeros is represented by a file-map
+//     flag and its record is freed (which is why the paper notes the
+//     algorithm must be given otherwise unnecessary access to the data
+//     of every page in the system).
+//
+// The manager can run in the multi-process organization of the
+// redesigned memory manager (Huber): page write-backs are performed by
+// a dedicated page-writer process on its own virtual processor, which
+// costs an inter-process message per write-back but lets the work run
+// at low priority. With Daemons false the write-backs run inline, as
+// the 1974 design did.
+package pageframe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"multics/internal/disk"
+	"multics/internal/eventcount"
+	"multics/internal/hw"
+	"multics/internal/vproc"
+)
+
+// PageWriterModule is the kernel module name of the dedicated
+// write-back process.
+const PageWriterModule = "page-writer"
+
+// bodyFaultService is the assembly-language cycle cost of the fault
+// service algorithm body; the PL/I recoding of the kernel multiplies
+// it per hw.BodyCycles.
+const bodyFaultService = 150
+
+// ErrNoFrames is returned when every pageable frame is wired by an
+// in-flight operation and none can be evicted.
+var ErrNoFrames = errors.New("pageframe: no evictable frame")
+
+// A PageReq names one page for LoadPage: which descriptor to satisfy
+// and where the page's contents live.
+type PageReq struct {
+	// UID identifies the owning segment (for eviction reports).
+	UID uint64
+	// PT and Page locate the descriptor to make present.
+	PT   *hw.PageTable
+	Page int
+	// Pack and Record give the page's disk home. HasRecord is
+	// false for a zero page (contents are zeros and no record is
+	// held).
+	Pack      *disk.Pack
+	Record    disk.RecordAddr
+	HasRecord bool
+	// NotifySeg/NotifyPage name the descriptor address for waiter
+	// notification (the segment number the faulting processor's
+	// locked-descriptor register holds).
+	NotifySeg  int
+	NotifyPage int
+}
+
+// An Evicted report describes one page the manager removed from
+// primary memory while making room. The caller (the segment manager)
+// owns the file maps and quota accounting, so the report carries what
+// it needs: for a zero page the record was freed and the file map
+// should say zero; otherwise the page was written back to its record.
+type Evicted struct {
+	UID    uint64
+	Page   int
+	Zero   bool
+	Pack   string
+	Record disk.RecordAddr
+	// FreedRecord reports that a record was released because the
+	// page turned out to be all zeros (storage charge released).
+	FreedRecord bool
+}
+
+type frameInfo struct {
+	inUse     bool
+	uid       uint64
+	page      int
+	pt        *hw.PageTable
+	pack      *disk.Pack
+	record    disk.RecordAddr
+	hasRecord bool
+}
+
+type descKey struct {
+	pt   *hw.PageTable
+	page int
+}
+
+// A Manager multiplexes the pageable page frames.
+type Manager struct {
+	mem   *hw.Memory
+	meter *hw.CostMeter
+	vps   *vproc.Manager
+
+	// Lang is the implementation language of the manager's body for
+	// the cost model; the kernel design recodes it in PL/I.
+	Lang hw.Language
+	// Daemons selects the multi-process write-back organization.
+	Daemons bool
+
+	mu      sync.Mutex
+	first   int
+	frames  []frameInfo // index 0 is absolute frame `first`
+	free    []int       // absolute frame numbers
+	clock   int
+	unlocks map[descKey]*eventcount.Eventcount
+
+	faults, evictions, zeroEvictions int64
+}
+
+// NewManager returns a page frame manager owning frames
+// [firstFrame, mem.Frames()). The virtual processor manager supplies
+// the wait/notify primitives and the page-writer daemon.
+func NewManager(mem *hw.Memory, firstFrame int, vps *vproc.Manager, meter *hw.CostMeter) (*Manager, error) {
+	if firstFrame < 0 || firstFrame >= mem.Frames() {
+		return nil, fmt.Errorf("pageframe: first frame %d of %d leaves no pageable memory", firstFrame, mem.Frames())
+	}
+	m := &Manager{
+		mem:     mem,
+		meter:   meter,
+		vps:     vps,
+		first:   firstFrame,
+		frames:  make([]frameInfo, mem.Frames()-firstFrame),
+		unlocks: make(map[descKey]*eventcount.Eventcount),
+		Lang:    hw.PLI,
+	}
+	for f := mem.Frames() - 1; f >= firstFrame; f-- {
+		m.free = append(m.free, f)
+	}
+	return m, nil
+}
+
+// PageableFrames reports how many frames the manager multiplexes.
+func (m *Manager) PageableFrames() int { return len(m.frames) }
+
+// Mem exposes the primary memory the frames live in, for modules that
+// must read or write resident pages directly.
+func (m *Manager) Mem() *hw.Memory { return m.mem }
+
+// FreeFrames reports how many frames are currently unassigned.
+func (m *Manager) FreeFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.free)
+}
+
+// Stats reports the counts of fault services, evictions, and
+// zero-page discoveries.
+func (m *Manager) Stats() (faults, evictions, zeroEvictions int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.faults, m.evictions, m.zeroEvictions
+}
+
+// LoadPage services a missing-page fault: it obtains a frame (evicting
+// if necessary), fills it from the page's record (or with zeros for a
+// zero page), makes the descriptor present, unlocks it, and notifies
+// waiters. The eviction reports must be applied by the caller to its
+// file maps before it issues further requests. If the descriptor is
+// already present the call degenerates to unlock-and-notify.
+func (m *Manager) LoadPage(req PageReq) ([]Evicted, error) {
+	if req.PT == nil {
+		return nil, errors.New("pageframe: LoadPage with nil page table")
+	}
+	m.meter.AddBody(bodyFaultService, m.Lang)
+
+	cur, err := req.PT.Get(req.Page)
+	if err != nil {
+		return nil, err
+	}
+	if cur.Present {
+		m.finishService(req)
+		return nil, nil
+	}
+
+	frame, ev, err := m.obtainFrame()
+	if err != nil {
+		return nil, err
+	}
+	if req.HasRecord {
+		buf := make([]hw.Word, hw.PageWords)
+		if err := req.Pack.ReadRecord(req.Record, buf); err != nil {
+			m.releaseFrame(frame)
+			return ev, err
+		}
+		if err := m.mem.WriteFrame(frame, buf); err != nil {
+			m.releaseFrame(frame)
+			return ev, err
+		}
+	} else {
+		if err := m.mem.ZeroFrame(frame); err != nil {
+			m.releaseFrame(frame)
+			return ev, err
+		}
+	}
+	m.mu.Lock()
+	m.frames[frame-m.first] = frameInfo{
+		inUse: true, uid: req.UID, page: req.Page, pt: req.PT,
+		pack: req.Pack, record: req.Record, hasRecord: req.HasRecord,
+	}
+	m.faults++
+	m.mu.Unlock()
+	if _, err := req.PT.Update(req.Page, func(d *hw.PTW) {
+		d.Present = true
+		d.Frame = frame
+		d.QuotaTrap = false
+		d.Used = true
+		d.Modified = false
+	}); err != nil {
+		return ev, err
+	}
+	m.finishService(req)
+	if m.Daemons {
+		// Let the daemon drain any write-backs queued by eviction.
+		m.vps.RunPending()
+	}
+	return ev, nil
+}
+
+// AddPage adds a never-before-used page to a segment: it allocates a
+// disk record on the segment's pack (reporting disk.ErrPackFull up the
+// call chain when there is none), obtains a zeroed frame, and makes
+// the descriptor present. The caller has already checked and charged
+// quota. On success the new record address is returned for the
+// caller's file map.
+func (m *Manager) AddPage(req PageReq) (disk.RecordAddr, []Evicted, error) {
+	if req.PT == nil {
+		return 0, nil, errors.New("pageframe: AddPage with nil page table")
+	}
+	m.meter.AddBody(bodyFaultService, m.Lang)
+	rec, err := req.Pack.AllocRecord()
+	if err != nil {
+		return 0, nil, fmt.Errorf("pageframe: adding page %d of segment %d: %w", req.Page, req.UID, err)
+	}
+	frame, ev, err := m.obtainFrame()
+	if err != nil {
+		_ = req.Pack.FreeRecord(rec)
+		return 0, ev, err
+	}
+	if err := m.mem.ZeroFrame(frame); err != nil {
+		_ = req.Pack.FreeRecord(rec)
+		m.releaseFrame(frame)
+		return 0, ev, err
+	}
+	m.mu.Lock()
+	m.frames[frame-m.first] = frameInfo{
+		inUse: true, uid: req.UID, page: req.Page, pt: req.PT,
+		pack: req.Pack, record: rec, hasRecord: true,
+	}
+	m.faults++
+	m.mu.Unlock()
+	if req.Page >= req.PT.Len() {
+		req.PT.Grow(req.Page + 1)
+	}
+	if _, err := req.PT.Update(req.Page, func(d *hw.PTW) {
+		d.Present = true
+		d.Frame = frame
+		d.QuotaTrap = false
+		d.Used = true
+		d.Modified = true
+	}); err != nil {
+		return 0, ev, err
+	}
+	m.finishService(req)
+	if m.Daemons {
+		m.vps.RunPending()
+	}
+	return rec, ev, nil
+}
+
+// finishService unlocks the descriptor (harmless if it was never
+// locked) and notifies waiters.
+func (m *Manager) finishService(req PageReq) {
+	_ = req.PT.Unlock(req.Page)
+	m.mu.Lock()
+	ec := m.unlocks[descKey{req.PT, req.Page}]
+	m.mu.Unlock()
+	if ec != nil {
+		m.vps.Notify(ec, req.NotifySeg, req.NotifyPage)
+	} else if m.vps != nil {
+		// Still cover a processor between fault and wait.
+		var dummy eventcount.Eventcount
+		m.vps.Notify(&dummy, req.NotifySeg, req.NotifyPage)
+	}
+}
+
+// WaitUnlock blocks the caller until the given descriptor's lock bit
+// has been cleared by the servicing processor. proc may be nil; when
+// it is not, the wakeup-waiting protocol protects the window between
+// the locked-descriptor exception and this call.
+func (m *Manager) WaitUnlock(proc *hw.Processor, pt *hw.PageTable, page int) error {
+	m.mu.Lock()
+	key := descKey{pt, page}
+	ec := m.unlocks[key]
+	if ec == nil {
+		ec = new(eventcount.Eventcount)
+		m.unlocks[key] = ec
+	}
+	target := ec.Read() + 1
+	m.mu.Unlock()
+
+	d, err := pt.Get(page)
+	if err != nil {
+		return err
+	}
+	if !d.Lock {
+		return nil // already serviced
+	}
+	m.meter.Add(hw.CycLockWait)
+	m.vps.Wait(proc, ec, target)
+	return nil
+}
+
+// obtainFrame returns a free frame, evicting a victim if none is
+// free. Caller must not hold m.mu.
+func (m *Manager) obtainFrame() (int, []Evicted, error) {
+	m.mu.Lock()
+	if len(m.free) > 0 {
+		f := m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+		m.mu.Unlock()
+		return f, nil, nil
+	}
+	victim, err := m.chooseVictimLocked()
+	if err != nil {
+		m.mu.Unlock()
+		return 0, nil, err
+	}
+	info := m.frames[victim-m.first]
+	m.frames[victim-m.first] = frameInfo{}
+	m.evictions++
+	m.mu.Unlock()
+
+	ev, err := m.writeBack(victim, info)
+	if err != nil {
+		return 0, nil, err
+	}
+	var evs []Evicted
+	if ev != nil {
+		evs = append(evs, *ev)
+	}
+	return victim, evs, nil
+}
+
+// chooseVictimLocked runs the clock over the in-use frames: a frame
+// whose descriptor has Used set gets a second chance (the bit is
+// cleared); the first frame without it is the victim.
+func (m *Manager) chooseVictimLocked() (int, error) {
+	n := len(m.frames)
+	for pass := 0; pass < 2*n; pass++ {
+		i := m.clock
+		m.clock = (m.clock + 1) % n
+		fi := &m.frames[i]
+		if !fi.inUse {
+			continue
+		}
+		d, err := fi.pt.Get(fi.page)
+		if err != nil {
+			return 0, err
+		}
+		if d.Lock {
+			continue // mid-service, not evictable
+		}
+		if d.Used {
+			_, _ = fi.pt.Update(fi.page, func(w *hw.PTW) { w.Used = false })
+			continue
+		}
+		return m.first + i, nil
+	}
+	// Second-chance exhausted: take any unlocked in-use frame.
+	for i := range m.frames {
+		if m.frames[i].inUse {
+			d, err := m.frames[i].pt.Get(m.frames[i].page)
+			if err != nil {
+				return 0, err
+			}
+			if !d.Lock {
+				return m.first + i, nil
+			}
+		}
+	}
+	return 0, ErrNoFrames
+}
+
+// writeBack removes the victim page from its descriptor and persists
+// its contents: zeros free the record (the zero-page optimization),
+// anything else is written to the record, by the page-writer daemon
+// when the multi-process organization is on.
+func (m *Manager) writeBack(frame int, info frameInfo) (*Evicted, error) {
+	// Disconnect the descriptor first so no reference sees a frame
+	// being recycled. A zero page gets the quota-trap bit so its
+	// next touch goes through the charged path again.
+	zero, err := m.mem.FrameIsZero(frame)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := info.pt.Update(info.page, func(d *hw.PTW) {
+		d.Present = false
+		d.Frame = 0
+		d.QuotaTrap = zero
+	}); err != nil {
+		return nil, err
+	}
+	ev := &Evicted{UID: info.uid, Page: info.page, Zero: zero}
+	if info.pack != nil {
+		ev.Pack = info.pack.ID()
+		ev.Record = info.record
+	}
+	if zero {
+		m.mu.Lock()
+		m.zeroEvictions++
+		m.mu.Unlock()
+		if info.hasRecord {
+			if err := info.pack.FreeRecord(info.record); err != nil {
+				return nil, err
+			}
+			ev.FreedRecord = true
+		}
+		return ev, nil
+	}
+	if !info.hasRecord {
+		return nil, fmt.Errorf("pageframe: dirty page %d of segment %d has no record", info.page, info.uid)
+	}
+	buf := make([]hw.Word, hw.PageWords)
+	if err := m.mem.ReadFrame(frame, buf); err != nil {
+		return nil, err
+	}
+	if m.Daemons && m.vps != nil {
+		pack, rec := info.pack, info.record
+		if err := m.vps.Enqueue(PageWriterModule, func() {
+			_ = pack.WriteRecord(rec, buf)
+		}); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := info.pack.WriteRecord(info.record, buf); err != nil {
+			return nil, err
+		}
+	}
+	return ev, nil
+}
+
+// releaseFrame returns a frame obtained by obtainFrame that could not
+// be used.
+func (m *Manager) releaseFrame(frame int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.frames[frame-m.first] = frameInfo{}
+	m.free = append(m.free, frame)
+}
+
+// ReleaseSegment evicts every resident page belonging to pt, writing
+// contents back (or freeing records for zero pages), and returns the
+// reports. The segment manager calls it on deactivation.
+func (m *Manager) ReleaseSegment(pt *hw.PageTable) ([]Evicted, error) {
+	var out []Evicted
+	for {
+		m.mu.Lock()
+		idx := -1
+		for i := range m.frames {
+			if m.frames[i].inUse && m.frames[i].pt == pt {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			m.mu.Unlock()
+			return out, nil
+		}
+		info := m.frames[idx]
+		m.frames[idx] = frameInfo{}
+		m.evictions++
+		m.mu.Unlock()
+
+		ev, err := m.writeBack(m.first+idx, info)
+		if err != nil {
+			return out, err
+		}
+		if ev != nil {
+			out = append(out, *ev)
+		}
+		m.mu.Lock()
+		m.free = append(m.free, m.first+idx)
+		m.mu.Unlock()
+		if m.Daemons && m.vps != nil {
+			m.vps.RunPending()
+		}
+	}
+}
+
+// SampleWorkingSets implements the usage estimation of Gifford's
+// project study ("Hardware Estimation of a Process' Primary Memory
+// Requirements"): the hardware sets a used bit on every reference,
+// and a periodic sample reads and clears the bits, yielding each
+// segment's count of recently referenced resident pages — its
+// working-set contribution. Returns the per-segment counts and the
+// total.
+func (m *Manager) SampleWorkingSets() (map[uint64]int, int) {
+	m.mu.Lock()
+	type ref struct {
+		pt   *hw.PageTable
+		page int
+		uid  uint64
+	}
+	var refs []ref
+	for _, fi := range m.frames {
+		if fi.inUse {
+			refs = append(refs, ref{pt: fi.pt, page: fi.page, uid: fi.uid})
+		}
+	}
+	m.mu.Unlock()
+	sets := make(map[uint64]int)
+	total := 0
+	for _, r := range refs {
+		var used bool
+		if _, err := r.pt.Update(r.page, func(d *hw.PTW) {
+			used = d.Used
+			d.Used = false
+		}); err != nil {
+			continue
+		}
+		if used {
+			sets[r.uid]++
+			total++
+		}
+	}
+	return sets, total
+}
+
+// Audit checks the manager's own invariants and returns a description
+// of every violation: the free list and the in-use frame table must
+// partition the pageable frames exactly, and every in-use frame's page
+// descriptor must point back at that frame. It is one module's share
+// of the paper's audit prong.
+func (m *Manager) Audit() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var bad []string
+	seen := make(map[int]string, len(m.frames))
+	for _, f := range m.free {
+		if f < m.first || f >= m.first+len(m.frames) {
+			bad = append(bad, fmt.Sprintf("free frame %d outside pageable range", f))
+			continue
+		}
+		if prev, dup := seen[f]; dup {
+			bad = append(bad, fmt.Sprintf("frame %d on free list twice (%s)", f, prev))
+		}
+		seen[f] = "free"
+		if m.frames[f-m.first].inUse {
+			bad = append(bad, fmt.Sprintf("frame %d both free and in use", f))
+		}
+	}
+	for i, fi := range m.frames {
+		frame := m.first + i
+		if !fi.inUse {
+			if _, ok := seen[frame]; !ok {
+				bad = append(bad, fmt.Sprintf("frame %d neither free nor in use", frame))
+			}
+			continue
+		}
+		if _, ok := seen[frame]; ok {
+			continue // already reported as both
+		}
+		seen[frame] = "in-use"
+		d, err := fi.pt.Get(fi.page)
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("frame %d: descriptor unreadable: %v", frame, err))
+			continue
+		}
+		if !d.Present || d.Frame != frame {
+			bad = append(bad, fmt.Sprintf("frame %d holds page %d of segment %d but its descriptor says present=%v frame=%d", frame, fi.page, fi.uid, d.Present, d.Frame))
+		}
+	}
+	return bad
+}
+
+// DropPage discards a resident page without write-back (used when the
+// whole segment is being deleted).
+func (m *Manager) DropPage(pt *hw.PageTable, page int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.frames {
+		if m.frames[i].inUse && m.frames[i].pt == pt && m.frames[i].page == page {
+			m.frames[i] = frameInfo{}
+			m.free = append(m.free, m.first+i)
+			_, _ = pt.Update(page, func(d *hw.PTW) { *d = hw.PTW{} })
+			return
+		}
+	}
+}

@@ -1,0 +1,530 @@
+package pageframe
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"multics/internal/coreseg"
+	"multics/internal/disk"
+	"multics/internal/hw"
+	"multics/internal/vproc"
+)
+
+type fixture struct {
+	mem   *hw.Memory
+	m     *Manager
+	vps   *vproc.Manager
+	pack  *disk.Pack
+	meter *hw.CostMeter
+}
+
+// newFixture builds a machine with `pageable` pageable frames and one
+// pack of 64 records.
+func newFixture(t *testing.T, pageable int) *fixture {
+	t.Helper()
+	meter := &hw.CostMeter{}
+	mem := hw.NewMemory(1 + pageable)
+	cm, err := coreseg.NewManager(mem, 1, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := cm.Allocate("vp-states", 4*vproc.StateWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vps, err := vproc.NewManager(4, states, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vps.BindKernel(PageWriterModule); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(mem, cm.FirstPageableFrame(), vps, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vols := disk.NewVolumes(meter)
+	pack, err := vols.AddPack("dska", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{mem: mem, m: m, vps: vps, pack: pack, meter: meter}
+}
+
+// storedPage allocates a record holding a recognizable pattern and
+// returns it.
+func (f *fixture) storedPage(t *testing.T, tag hw.Word) disk.RecordAddr {
+	t.Helper()
+	r, err := f.pack.AllocRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]hw.Word, hw.PageWords)
+	buf[0] = tag
+	if err := f.pack.WriteRecord(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func frameWord(t *testing.T, mem *hw.Memory, pt *hw.PageTable, page, off int) hw.Word {
+	t.Helper()
+	d, err := pt.Get(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Present {
+		t.Fatalf("page %d not present", page)
+	}
+	w, err := mem.Read(mem.FrameBase(d.Frame) + off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestLoadPageFromRecord(t *testing.T) {
+	f := newFixture(t, 4)
+	rec := f.storedPage(t, 77)
+	pt := hw.NewPageTable(1, false)
+	ev, err := f.m.LoadPage(PageReq{UID: 1, PT: pt, Page: 0, Pack: f.pack, Record: rec, HasRecord: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 0 {
+		t.Errorf("evictions on empty memory: %v", ev)
+	}
+	if got := frameWord(t, f.mem, pt, 0, 0); got != 77 {
+		t.Errorf("loaded word = %d, want 77", got)
+	}
+	faults, _, _ := f.m.Stats()
+	if faults != 1 {
+		t.Errorf("faults = %d", faults)
+	}
+}
+
+func TestLoadPageZeroFill(t *testing.T) {
+	f := newFixture(t, 4)
+	pt := hw.NewPageTable(1, false)
+	if _, err := f.m.LoadPage(PageReq{UID: 1, PT: pt, Page: 0, Pack: f.pack}); err != nil {
+		t.Fatal(err)
+	}
+	if got := frameWord(t, f.mem, pt, 0, 5); got != 0 {
+		t.Errorf("zero page holds %d", got)
+	}
+}
+
+func TestLoadPageAlreadyPresent(t *testing.T) {
+	f := newFixture(t, 4)
+	pt := hw.NewPageTable(1, false)
+	if err := pt.Set(0, hw.PTW{Present: true, Frame: 1, Lock: true}); err != nil {
+		t.Fatal(err)
+	}
+	free := f.m.FreeFrames()
+	ev, err := f.m.LoadPage(PageReq{UID: 1, PT: pt, Page: 0, Pack: f.pack})
+	if err != nil || len(ev) != 0 {
+		t.Fatalf("LoadPage = %v, %v", ev, err)
+	}
+	if f.m.FreeFrames() != free {
+		t.Error("present page consumed a frame")
+	}
+	d, _ := pt.Get(0)
+	if d.Lock {
+		t.Error("descriptor still locked after degenerate service")
+	}
+}
+
+func TestAddPageAllocatesRecordAndZeroFrame(t *testing.T) {
+	f := newFixture(t, 4)
+	pt := hw.NewPageTable(0, false)
+	used := f.pack.UsedRecords()
+	rec, ev, err := f.m.AddPage(PageReq{UID: 9, PT: pt, Page: 0, Pack: f.pack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 0 {
+		t.Errorf("unexpected evictions %v", ev)
+	}
+	if f.pack.UsedRecords() != used+1 {
+		t.Error("no record allocated")
+	}
+	_ = rec
+	d, err := pt.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Present || !d.Modified || d.QuotaTrap {
+		t.Errorf("descriptor after AddPage = %+v", d)
+	}
+	if got := frameWord(t, f.mem, pt, 0, 0); got != 0 {
+		t.Errorf("new page holds %d", got)
+	}
+}
+
+func TestAddPageFullPackReturnsUpTheChain(t *testing.T) {
+	f := newFixture(t, 4)
+	for f.pack.FreeRecords() > 0 {
+		if _, err := f.pack.AllocRecord(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pt := hw.NewPageTable(0, false)
+	free := f.m.FreeFrames()
+	_, _, err := f.m.AddPage(PageReq{UID: 9, PT: pt, Page: 0, Pack: f.pack})
+	if !errors.Is(err, disk.ErrPackFull) {
+		t.Fatalf("AddPage on full pack: %v, want ErrPackFull", err)
+	}
+	if f.m.FreeFrames() != free {
+		t.Error("failed AddPage leaked a frame")
+	}
+	if pt.Len() != 0 {
+		t.Error("failed AddPage grew the page table")
+	}
+}
+
+func TestEvictionWritesBackDirtyPage(t *testing.T) {
+	f := newFixture(t, 2) // only two pageable frames
+	// Fill both frames with dirty pages.
+	var pts []*hw.PageTable
+	var recs []disk.RecordAddr
+	for i := 0; i < 2; i++ {
+		pt := hw.NewPageTable(0, false)
+		rec, _, err := f.m.AddPage(PageReq{UID: uint64(i + 1), PT: pt, Page: 0, Pack: f.pack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := pt.Get(0)
+		if err := f.mem.Write(f.mem.FrameBase(d.Frame), hw.Word(100+i)); err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, pt)
+		recs = append(recs, rec)
+	}
+	// A third page forces an eviction.
+	pt3 := hw.NewPageTable(0, false)
+	_, ev, err := f.m.AddPage(PageReq{UID: 3, PT: pt3, Page: 0, Pack: f.pack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 {
+		t.Fatalf("evictions = %v, want one", ev)
+	}
+	if ev[0].Zero {
+		t.Error("dirty page reported zero")
+	}
+	victim := int(ev[0].UID) - 1
+	// The victim's descriptor is now not-present and its contents
+	// are on disk.
+	d, _ := pts[victim].Get(0)
+	if d.Present {
+		t.Error("victim descriptor still present")
+	}
+	buf := make([]hw.Word, hw.PageWords)
+	if err := f.pack.ReadRecord(recs[victim], buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != hw.Word(100+victim) {
+		t.Errorf("written-back word = %d, want %d", buf[0], 100+victim)
+	}
+	// Reloading the victim restores its contents.
+	if _, err := f.m.LoadPage(PageReq{UID: ev[0].UID, PT: pts[victim], Page: 0, Pack: f.pack, Record: recs[victim], HasRecord: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := frameWord(t, f.mem, pts[victim], 0, 0); got != hw.Word(100+victim) {
+		t.Errorf("reloaded word = %d", got)
+	}
+}
+
+func TestZeroPageEvictionFreesRecordAndSetsQuotaTrap(t *testing.T) {
+	f := newFixture(t, 1)
+	pt1 := hw.NewPageTable(0, false)
+	// Add a page and leave it all zeros.
+	_, _, err := f.m.AddPage(PageReq{UID: 1, PT: pt1, Page: 0, Pack: f.pack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := f.pack.UsedRecords()
+	// Force eviction with a second page.
+	pt2 := hw.NewPageTable(0, false)
+	_, ev, err := f.m.AddPage(PageReq{UID: 2, PT: pt2, Page: 0, Pack: f.pack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || !ev[0].Zero || !ev[0].FreedRecord {
+		t.Fatalf("evictions = %+v, want one zero eviction with freed record", ev)
+	}
+	if f.pack.UsedRecords() != used { // -1 zero freed, +1 new page
+		t.Errorf("used records = %d, want %d", f.pack.UsedRecords(), used)
+	}
+	d, _ := pt1.Get(0)
+	if d.Present || !d.QuotaTrap {
+		t.Errorf("zero-evicted descriptor = %+v, want quota trap set", d)
+	}
+	_, _, zeros := f.m.Stats()
+	if zeros != 1 {
+		t.Errorf("zeroEvictions = %d", zeros)
+	}
+}
+
+func TestDaemonWriteBack(t *testing.T) {
+	f := newFixture(t, 1)
+	f.m.Daemons = true
+	pt1 := hw.NewPageTable(0, false)
+	rec, _, err := f.m.AddPage(PageReq{UID: 1, PT: pt1, Page: 0, Pack: f.pack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := pt1.Get(0)
+	if err := f.mem.Write(f.mem.FrameBase(d.Frame), 55); err != nil {
+		t.Fatal(err)
+	}
+	before := f.vps.Dispatches()
+	pt2 := hw.NewPageTable(0, false)
+	if _, _, err := f.m.AddPage(PageReq{UID: 2, PT: pt2, Page: 0, Pack: f.pack}); err != nil {
+		t.Fatal(err)
+	}
+	if f.vps.Dispatches() == before {
+		t.Error("daemon mode did not dispatch the page-writer")
+	}
+	buf := make([]hw.Word, hw.PageWords)
+	if err := f.pack.ReadRecord(rec, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 55 {
+		t.Errorf("daemon write-back lost data: %d", buf[0])
+	}
+}
+
+func TestDaemonModeCostsMore(t *testing.T) {
+	// The paper: using dedicated processes required memory
+	// management to call process management, a small but
+	// unavoidable cost.
+	run := func(daemons bool) int64 {
+		f := newFixture(t, 1)
+		f.m.Daemons = daemons
+		f.meter.Reset()
+		pt := hw.NewPageTable(0, false)
+		if _, _, err := f.m.AddPage(PageReq{UID: 1, PT: pt, Page: 0, Pack: f.pack}); err != nil {
+			t.Fatal(err)
+		}
+		d, _ := pt.Get(0)
+		if err := f.mem.Write(f.mem.FrameBase(d.Frame), 1); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			pt2 := hw.NewPageTable(0, false)
+			if _, _, err := f.m.AddPage(PageReq{UID: uint64(i + 2), PT: pt2, Page: 0, Pack: f.pack}); err != nil {
+				t.Fatal(err)
+			}
+			d, _ := pt2.Get(0)
+			if err := f.mem.Write(f.mem.FrameBase(d.Frame), hw.Word(i+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.meter.Cycles()
+	}
+	inline := run(false)
+	daemon := run(true)
+	if daemon <= inline {
+		t.Errorf("daemon organization cost %d cycles <= inline %d; want a small extra cost", daemon, inline)
+	}
+	if daemon > inline*3/2 {
+		t.Errorf("daemon organization cost %d vs inline %d: should be small, not >50%%", daemon, inline)
+	}
+}
+
+func TestWaitUnlock(t *testing.T) {
+	f := newFixture(t, 2)
+	pt := hw.NewPageTable(1, false)
+	// Not locked: returns immediately.
+	if err := f.m.WaitUnlock(nil, pt, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Locked: blocks until service completes.
+	if err := pt.Set(0, hw.PTW{Lock: true}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	done := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		done <- f.m.WaitUnlock(nil, pt, 0)
+	}()
+	rec := f.storedPage(t, 5)
+	if _, err := f.m.LoadPage(PageReq{UID: 1, PT: pt, Page: 0, Pack: f.pack, Record: rec, HasRecord: true, NotifySeg: 8, NotifyPage: 0}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	d, _ := pt.Get(0)
+	if d.Lock || !d.Present {
+		t.Errorf("descriptor after service = %+v", d)
+	}
+}
+
+func TestReleaseSegment(t *testing.T) {
+	f := newFixture(t, 4)
+	pt := hw.NewPageTable(0, false)
+	var recs []disk.RecordAddr
+	for i := 0; i < 3; i++ {
+		rec, _, err := f.m.AddPage(PageReq{UID: 1, PT: pt, Page: i, Pack: f.pack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	// Dirty page 1; pages 0 and 2 stay zero.
+	d, _ := pt.Get(1)
+	if err := f.mem.Write(f.mem.FrameBase(d.Frame), 9); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := f.m.ReleaseSegment(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 3 {
+		t.Fatalf("reports = %+v, want 3", ev)
+	}
+	zeros, stored := 0, 0
+	for _, e := range ev {
+		if e.Zero {
+			zeros++
+		} else {
+			stored++
+		}
+	}
+	if zeros != 2 || stored != 1 {
+		t.Errorf("zeros=%d stored=%d", zeros, stored)
+	}
+	if f.m.FreeFrames() != 4 {
+		t.Errorf("FreeFrames = %d after release", f.m.FreeFrames())
+	}
+	buf := make([]hw.Word, hw.PageWords)
+	if err := f.pack.ReadRecord(recs[1], buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 9 {
+		t.Errorf("released dirty page word = %d", buf[0])
+	}
+}
+
+func TestDropPage(t *testing.T) {
+	f := newFixture(t, 2)
+	pt := hw.NewPageTable(0, false)
+	if _, _, err := f.m.AddPage(PageReq{UID: 1, PT: pt, Page: 0, Pack: f.pack}); err != nil {
+		t.Fatal(err)
+	}
+	free := f.m.FreeFrames()
+	f.m.DropPage(pt, 0)
+	if f.m.FreeFrames() != free+1 {
+		t.Error("DropPage did not free the frame")
+	}
+	d, _ := pt.Get(0)
+	if d.Present {
+		t.Error("dropped page still present")
+	}
+	// Dropping a non-resident page is a no-op.
+	f.m.DropPage(pt, 0)
+}
+
+func TestClockGivesSecondChance(t *testing.T) {
+	f := newFixture(t, 2)
+	ptA := hw.NewPageTable(0, false)
+	ptB := hw.NewPageTable(0, false)
+	if _, _, err := f.m.AddPage(PageReq{UID: 1, PT: ptA, Page: 0, Pack: f.pack}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.m.AddPage(PageReq{UID: 2, PT: ptB, Page: 0, Pack: f.pack}); err != nil {
+		t.Fatal(err)
+	}
+	// Mark A referenced, leave B unreferenced.
+	if _, err := ptA.Update(0, func(d *hw.PTW) { d.Used = true }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ptB.Update(0, func(d *hw.PTW) { d.Used = false }); err != nil {
+		t.Fatal(err)
+	}
+	ptC := hw.NewPageTable(0, false)
+	_, ev, err := f.m.AddPage(PageReq{UID: 3, PT: ptC, Page: 0, Pack: f.pack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || ev[0].UID != 2 {
+		t.Errorf("evicted %+v, want the unreferenced page of segment 2", ev)
+	}
+}
+
+func TestPLIBodyCostsMoreThanASM(t *testing.T) {
+	run := func(lang hw.Language) int64 {
+		f := newFixture(t, 4)
+		f.m.Lang = lang
+		f.meter.Reset()
+		pt := hw.NewPageTable(0, false)
+		for i := 0; i < 4; i++ {
+			if _, _, err := f.m.AddPage(PageReq{UID: 1, PT: pt, Page: i, Pack: f.pack}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.meter.Cycles()
+	}
+	asm, pli := run(hw.ASM), run(hw.PLI)
+	if pli <= asm {
+		t.Errorf("PL/I body %d cycles <= assembly %d", pli, asm)
+	}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	mem := hw.NewMemory(2)
+	if _, err := NewManager(mem, 2, nil, nil); err == nil {
+		t.Error("manager with no pageable memory accepted")
+	}
+	if _, err := NewManager(mem, -1, nil, nil); err == nil {
+		t.Error("negative first frame accepted")
+	}
+	if _, err := (&Manager{}).LoadPage(PageReq{}); err == nil {
+		t.Error("LoadPage with nil page table succeeded")
+	}
+	if _, _, err := (&Manager{}).AddPage(PageReq{}); err == nil {
+		t.Error("AddPage with nil page table succeeded")
+	}
+}
+
+func TestWaitUnlockWakeupWaitingWindow(t *testing.T) {
+	// Service completes between the fault and WaitUnlock: the
+	// waiter must not hang.
+	f := newFixture(t, 2)
+	proc := hw.NewProcessor(0, f.mem, f.meter)
+	f.vps.RegisterProcessor(proc)
+	pt := hw.NewPageTable(1, false)
+	if err := pt.Set(0, hw.PTW{}); err != nil {
+		t.Fatal(err)
+	}
+	dt := hw.NewDescriptorTable(16)
+	if err := dt.Set(8, hw.SDW{Present: true, Table: pt, Access: hw.Read, MaxRing: hw.UserRing}); err != nil {
+		t.Fatal(err)
+	}
+	proc.UserDT = dt
+	proc.Ring = hw.UserRing
+	proc.DescriptorLockHW = true
+	// Fault: sets lock bit, loads the locked-descriptor register.
+	_, err := proc.Read(8, 0)
+	if !hw.IsFault(err, hw.FaultMissingPage) {
+		t.Fatalf("read: %v", err)
+	}
+	// Another agent services the fault before this processor waits.
+	rec := f.storedPage(t, 3)
+	if _, err := f.m.LoadPage(PageReq{UID: 1, PT: pt, Page: 0, Pack: f.pack, Record: rec, HasRecord: true, NotifySeg: 8, NotifyPage: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// WaitUnlock returns promptly (descriptor no longer locked).
+	if err := f.m.WaitUnlock(proc, pt, 0); err != nil {
+		t.Fatal(err)
+	}
+	if w, err := proc.Read(8, 0); err != nil || w != 3 {
+		t.Errorf("reference after wait = %d, %v", w, err)
+	}
+}

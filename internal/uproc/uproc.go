@@ -1,0 +1,546 @@
+// Package uproc implements the user process manager: the top level of
+// the two-level process implementation.
+//
+// The bottom level (package vproc) implements a fixed number of
+// virtual processors whose states are always in primary memory. This
+// level implements an arbitrary number of user processes whose states
+// are stored in ordinary virtual-memory segments, multiplexing a
+// subset of the virtual processors among them. Fixing the number of
+// processes at the bottom buys Brinch Hansen's simplifications; paying
+// the process-state storage through the virtual memory at the top
+// avoids wiring down primary memory for the maximum process count.
+//
+// The complication the paper credits Reed with solving is upward
+// event communication: events discovered by low-level virtual
+// processors must be signalled to user processes whose states are, by
+// design, not guaranteed to be in real memory at the discoverer's
+// level. The solution is a special real-memory message queue between
+// the two processor multiplexers, paired with eventcount
+// synchronization so the discoverer of an event needs no knowledge of
+// the identity of the processes awaiting it.
+package uproc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"multics/internal/aim"
+	"multics/internal/coreseg"
+	"multics/internal/eventcount"
+	"multics/internal/hw"
+	"multics/internal/knownseg"
+	"multics/internal/segment"
+	"multics/internal/vproc"
+)
+
+// SchedulerModule is the kernel module name of the user-process
+// scheduler's dedicated virtual processor.
+const SchedulerModule = "user-scheduler"
+
+// MsgWords is the size of one message in the real-memory queue.
+const MsgWords = 4
+
+// State is a user process's scheduling state.
+type State int
+
+const (
+	// Ready: awaiting a virtual processor.
+	Ready State = iota
+	// Running: bound to a virtual processor.
+	Running
+	// Blocked: awaiting an eventcount.
+	Blocked
+	// Dead: destroyed.
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// A Process is one user process.
+type Process struct {
+	id        uint64
+	principal string
+	label     aim.Label
+	state     State
+	vp        *vproc.VP
+	dt        *hw.DescriptorTable
+	kst       *knownseg.KST
+	// stateUID is the virtual-memory segment holding the process
+	// state — deliberately NOT wired memory.
+	stateUID uint64
+	// await is the eventcount/value pair a blocked process waits on.
+	await      *eventcount.Eventcount
+	awaitValue uint64
+	// cpu accumulates simulated cycles consumed, for accounting.
+	cpu int64
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() uint64 { return p.id }
+
+// Principal returns the authenticated person.project.
+func (p *Process) Principal() string { return p.principal }
+
+// Label returns the process's AIM label (its clearance for this
+// session).
+func (p *Process) Label() aim.Label { return p.label }
+
+// State returns the scheduling state.
+func (p *Process) State() State { return p.state }
+
+// DT returns the process's descriptor table (its address space).
+func (p *Process) DT() *hw.DescriptorTable { return p.dt }
+
+// KST returns the process's known segment table.
+func (p *Process) KST() *knownseg.KST { return p.kst }
+
+// StateSegment returns the UID of the virtual-memory segment holding
+// the process state.
+func (p *Process) StateSegment() uint64 { return p.stateUID }
+
+// AddCPU accrues simulated cycles to the process's account.
+func (p *Process) AddCPU(n int64) { p.cpu += n }
+
+// CPU reports accumulated simulated cycles.
+func (p *Process) CPU() int64 { return p.cpu }
+
+// A Message is one entry in the real-memory queue between the
+// processor multiplexing levels: an event discovered at the bottom
+// that concerns a user process.
+type Message struct {
+	// Kind is a small code (wakeup, I/O done, quota warning...).
+	Kind int
+	// Process is the concerned user process id, 0 for broadcast.
+	Process uint64
+	// Datum is event-specific.
+	Datum uint64
+}
+
+// Queue is the real-memory message queue: a bounded ring in a core
+// segment, so posting never touches the virtual memory. An
+// eventcount counts posted messages, so the upper-level multiplexer
+// awaits it without the poster knowing who is listening.
+type Queue struct {
+	mu     sync.Mutex
+	seg    *coreseg.Segment
+	cap    int
+	head   int
+	n      int
+	posted eventcount.Eventcount
+	meter  *hw.CostMeter
+}
+
+// ErrQueueFull is returned when the fixed-size real-memory queue
+// overflows; the poster must retry after the upper level drains.
+var ErrQueueFull = errors.New("uproc: real-memory message queue full")
+
+// NewQueue builds a message queue in the given core segment.
+func NewQueue(seg *coreseg.Segment, meter *hw.CostMeter) (*Queue, error) {
+	if seg == nil || seg.Words() < MsgWords {
+		return nil, errors.New("uproc: queue segment too small")
+	}
+	return &Queue{seg: seg, cap: seg.Words() / MsgWords, meter: meter}, nil
+}
+
+// Cap reports the fixed message capacity.
+func (q *Queue) Cap() int { return q.cap }
+
+// Len reports the queued message count.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Post appends a message; it runs entirely in real memory, so any
+// virtual processor may call it regardless of what is paged in.
+func (q *Queue) Post(m Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == q.cap {
+		return ErrQueueFull
+	}
+	slot := (q.head + q.n) % q.cap
+	base := slot * MsgWords
+	if err := q.seg.Write(base, hw.Word(m.Kind)); err != nil {
+		return err
+	}
+	if err := q.seg.Write(base+1, hw.Word(m.Process).Masked()); err != nil {
+		return err
+	}
+	if err := q.seg.Write(base+2, hw.Word(m.Datum).Masked()); err != nil {
+		return err
+	}
+	q.n++
+	q.meter.Add(hw.CycIPC)
+	q.posted.Advance()
+	return nil
+}
+
+// Drain removes and returns all queued messages.
+func (q *Queue) Drain() ([]Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []Message
+	for ; q.n > 0; q.n-- {
+		base := q.head * MsgWords
+		kind, err := q.seg.Read(base)
+		if err != nil {
+			return out, err
+		}
+		proc, err := q.seg.Read(base + 1)
+		if err != nil {
+			return out, err
+		}
+		datum, err := q.seg.Read(base + 2)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Message{Kind: int(kind), Process: uint64(proc), Datum: uint64(datum)})
+		q.head = (q.head + 1) % q.cap
+	}
+	return out, nil
+}
+
+// Posted returns the eventcount of messages posted, for the upper
+// multiplexer to await.
+func (q *Queue) Posted() *eventcount.Eventcount { return &q.posted }
+
+// A Manager is the user process manager and two-level scheduler top.
+type Manager struct {
+	vps   *vproc.Manager
+	segs  *segment.Manager
+	ksm   *knownseg.Manager
+	queue *Queue
+	meter *hw.CostMeter
+
+	// KSTBase/KSTSize shape each process's address space.
+	KSTBase int
+	KSTSize int
+	// StatePack is where process-state segments are created.
+	StatePack string
+	// StateCell is the quota cell charged for process states.
+	StateCell segment.CellRef
+
+	mu      sync.Mutex
+	nextPID uint64
+	procs   map[uint64]*Process
+	ready   []uint64
+	swaps   int64
+}
+
+// NewManager returns a user process manager multiplexing vps and
+// posting low-level events through queue.
+func NewManager(vps *vproc.Manager, segs *segment.Manager, ksm *knownseg.Manager, queue *Queue, meter *hw.CostMeter) *Manager {
+	return &Manager{
+		vps:     vps,
+		segs:    segs,
+		ksm:     ksm,
+		queue:   queue,
+		meter:   meter,
+		KSTBase: 8,
+		KSTSize: 64,
+		nextPID: 1,
+		procs:   make(map[uint64]*Process),
+	}
+}
+
+// Create makes a new user process for the authenticated principal at
+// the given AIM label. Its state segment lives in the virtual memory,
+// charged like any other segment.
+func (m *Manager) Create(principal string, label aim.Label) (*Process, error) {
+	if principal == "" {
+		return nil, errors.New("uproc: empty principal")
+	}
+	m.mu.Lock()
+	pid := m.nextPID
+	m.nextPID++
+	m.mu.Unlock()
+
+	kst, err := m.ksm.NewKST(m.KSTBase, m.KSTSize)
+	if err != nil {
+		return nil, err
+	}
+	// The process state segment: ordinary, pageable, quota-charged.
+	stateUID := m.segs.NewUID()
+	stateAddr, err := m.segs.Create(m.StatePack, stateUID, false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.segs.Activate(stateUID, stateAddr, m.StateCell.Cell, m.StateCell.Has); err != nil {
+		return nil, err
+	}
+	if _, err := m.segs.Grow(stateUID, 0, 0, 0); err != nil {
+		return nil, err
+	}
+	if err := m.segs.WriteWord(stateUID, 0, hw.Word(pid).Masked()); err != nil {
+		return nil, err
+	}
+	p := &Process{
+		id:        pid,
+		principal: principal,
+		label:     label,
+		state:     Ready,
+		dt:        hw.NewDescriptorTable(m.KSTBase + m.KSTSize),
+		kst:       kst,
+		stateUID:  stateUID,
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.procs[pid] = p
+	m.ready = append(m.ready, pid)
+	return p, nil
+}
+
+// Lookup returns the process with the given id.
+func (m *Manager) Lookup(pid uint64) (*Process, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("uproc: no process %d", pid)
+	}
+	return p, nil
+}
+
+// Count reports the number of live processes — arbitrary, unlike the
+// fixed virtual-processor count below.
+func (m *Manager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, p := range m.procs {
+		if p.state != Dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Swaps reports how many process-state swaps (virtual-memory loads or
+// stores of a state segment) have occurred.
+func (m *Manager) Swaps() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.swaps
+}
+
+// Dispatch binds the longest-waiting ready process to a free virtual
+// processor and returns it. Loading the process state goes through
+// the virtual memory — the expensive top-level half of the design.
+func (m *Manager) Dispatch() (*Process, error) {
+	m.mu.Lock()
+	var p *Process
+	for len(m.ready) > 0 {
+		pid := m.ready[0]
+		m.ready = m.ready[1:]
+		cand := m.procs[pid]
+		if cand != nil && cand.state == Ready {
+			p = cand
+			break
+		}
+	}
+	if p == nil {
+		m.mu.Unlock()
+		return nil, errors.New("uproc: no ready process")
+	}
+	m.swaps++
+	m.mu.Unlock()
+
+	vp, err := m.vps.AcquireUser(p.id)
+	if err != nil {
+		m.mu.Lock()
+		p.state = Ready
+		m.ready = append([]uint64{p.id}, m.ready...)
+		m.mu.Unlock()
+		return nil, err
+	}
+	// Touch the state segment (a real virtual-memory reference) and
+	// charge the swap cost.
+	if _, err := m.segs.EnsureResident(p.stateUID, 0); err != nil {
+		_ = m.vps.ReleaseUser(vp)
+		return nil, err
+	}
+	m.meter.Add(hw.CycProcessSwap)
+	m.mu.Lock()
+	p.state = Running
+	p.vp = vp
+	m.mu.Unlock()
+	return p, nil
+}
+
+// Preempt returns a running process to the ready queue, storing its
+// state back through the virtual memory.
+func (m *Manager) Preempt(p *Process) error {
+	return m.unbind(p, Ready)
+}
+
+// Block parks a running process until ec reaches v.
+func (m *Manager) Block(p *Process, ec *eventcount.Eventcount, v uint64) error {
+	m.mu.Lock()
+	p.await = ec
+	p.awaitValue = v
+	m.mu.Unlock()
+	return m.unbind(p, Blocked)
+}
+
+func (m *Manager) unbind(p *Process, to State) error {
+	m.mu.Lock()
+	if p.state != Running || p.vp == nil {
+		m.mu.Unlock()
+		return fmt.Errorf("uproc: process %d is %v, not running", p.id, p.state)
+	}
+	vp := p.vp
+	p.vp = nil
+	p.state = to
+	if to == Ready {
+		m.ready = append(m.ready, p.id)
+	}
+	m.swaps++
+	m.mu.Unlock()
+	if err := m.segs.WriteWord(p.stateUID, 1, hw.Word(to)); err != nil {
+		return err
+	}
+	m.meter.Add(hw.CycProcessSwap)
+	return m.vps.ReleaseUser(vp)
+}
+
+// Wakeup posts a wakeup message for a process into the real-memory
+// queue. It is callable from the bottom level: it touches only wired
+// memory.
+func (m *Manager) Wakeup(pid uint64, datum uint64) error {
+	return m.queue.Post(Message{Kind: 1, Process: pid, Datum: datum})
+}
+
+// DeliverEvents drains the real-memory queue and unblocks every
+// blocked process whose awaited eventcount has been reached, moving
+// it to the ready queue. The scheduler's virtual processor runs this;
+// it returns the number of processes made ready.
+func (m *Manager) DeliverEvents() (int, error) {
+	msgs, err := m.queue.Drain()
+	if err != nil {
+		return 0, err
+	}
+	woken := 0
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, msg := range msgs {
+		for pid, p := range m.procs {
+			if p.state != Blocked {
+				continue
+			}
+			if msg.Process != 0 && msg.Process != pid {
+				continue
+			}
+			if p.await != nil {
+				if _, ok := p.await.TryAwait(p.awaitValue); !ok {
+					continue
+				}
+			}
+			p.state = Ready
+			p.await = nil
+			m.ready = append(m.ready, pid)
+			woken++
+		}
+	}
+	return woken, nil
+}
+
+// Audit checks the manager's invariants: running processes hold
+// exactly one user-bound virtual processor, ready processes appear on
+// the ready queue, and nothing dead lingers.
+func (m *Manager) Audit() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var bad []string
+	onQueue := make(map[uint64]bool, len(m.ready))
+	for _, pid := range m.ready {
+		onQueue[pid] = true
+	}
+	for pid, p := range m.procs {
+		switch p.state {
+		case Running:
+			if p.vp == nil {
+				bad = append(bad, fmt.Sprintf("process %d running without a virtual processor", pid))
+			} else if p.vp.Binding() != vproc.UserBound || p.vp.User() != pid {
+				bad = append(bad, fmt.Sprintf("process %d running on vp %d bound to %v/%d", pid, p.vp.ID(), p.vp.Binding(), p.vp.User()))
+			}
+		case Ready:
+			if !onQueue[pid] {
+				bad = append(bad, fmt.Sprintf("process %d ready but not queued", pid))
+			}
+			if p.vp != nil {
+				bad = append(bad, fmt.Sprintf("process %d ready but still holds vp %d", pid, p.vp.ID()))
+			}
+		case Blocked:
+			if p.vp != nil {
+				bad = append(bad, fmt.Sprintf("process %d blocked but still holds vp %d", pid, p.vp.ID()))
+			}
+		case Dead:
+			bad = append(bad, fmt.Sprintf("process %d dead but registered", pid))
+		}
+	}
+	return bad
+}
+
+// Destroy ends a process, releasing its virtual processor, state
+// segment and KST.
+func (m *Manager) Destroy(p *Process) error {
+	m.mu.Lock()
+	if p.state == Dead {
+		m.mu.Unlock()
+		return fmt.Errorf("uproc: process %d already dead", p.id)
+	}
+	vp := p.vp
+	p.vp = nil
+	p.state = Dead
+	delete(m.procs, p.id)
+	m.mu.Unlock()
+	if vp != nil {
+		if err := m.vps.ReleaseUser(vp); err != nil {
+			return err
+		}
+	}
+	m.ksm.DropKST(p.kst)
+	a, err := m.segs.Lookup(p.stateUID)
+	if err == nil {
+		return m.segs.Delete(p.stateUID, a.Addr())
+	}
+	return nil
+}
+
+// RunQuantum dispatches up to n ready processes round-robin, running
+// body for each with the process bound to a virtual processor, then
+// preempting it. It is the simple scheduling mix used by the
+// benchmarks.
+func (m *Manager) RunQuantum(n int, body func(*Process)) (int, error) {
+	ran := 0
+	for i := 0; i < n; i++ {
+		p, err := m.Dispatch()
+		if err != nil {
+			break
+		}
+		if body != nil {
+			body(p)
+		}
+		if err := m.Preempt(p); err != nil {
+			return ran, err
+		}
+		ran++
+	}
+	return ran, nil
+}

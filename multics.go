@@ -1,0 +1,107 @@
+// Package multics is a working reproduction of the system described
+// in "The Multics Kernel Design Project" (Schroeder, Clark and
+// Saltzer, 6th ACM Symposium on Operating Systems Principles, 1977):
+// the re-engineering of the Multics supervisor into an auditable
+// security kernel organized by type extension.
+//
+// The package re-exports the public surface of the simulation:
+//
+//   - Boot builds Kernel/Multics — the redesigned, loop-free kernel
+//     of object managers, running on a simulated Honeywell-6180-style
+//     machine with the paper's two hardware additions (a second,
+//     wired descriptor base and the page-descriptor lock bit);
+//
+//   - BootBaseline builds the 1974-structure supervisor, with its
+//     global page lock, interpretive retranslation, dynamic upward
+//     quota searches, and hierarchy-constrained active segment table;
+//
+//   - the dependency graphs of both (Figures 2, 3 and 4 of the
+//     paper), machine-checked: the kernel refuses to boot if its
+//     structure has a loop or an undisciplined dependency;
+//
+//   - the peripheral experiments: the dynamic linker in and out of
+//     the kernel, the monolithic and split answering service, the
+//     per-network and generic network multiplexers, the two-phase
+//     system initialization, and the census that regenerates the
+//     paper's kernel-size table.
+//
+// Everything is deterministic: performance claims are checked against
+// a simulated cycle meter, not wall time.
+package multics
+
+import (
+	"multics/internal/aim"
+	"multics/internal/baseline"
+	"multics/internal/census"
+	"multics/internal/core"
+	"multics/internal/deps"
+	"multics/internal/directory"
+	"multics/internal/hw"
+)
+
+// Kernel is a booted Kernel/Multics instance.
+type Kernel = core.Kernel
+
+// Config parameterizes Boot.
+type Config = core.Config
+
+// PackSpec describes one disk pack.
+type PackSpec = core.PackSpec
+
+// Boot builds and structurally verifies a Kernel/Multics instance.
+func Boot(cfg Config) (*Kernel, error) { return core.Boot(cfg) }
+
+// DefaultConfig returns a small, fully functional machine.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Baseline is a booted 1974-structure supervisor.
+type Baseline = baseline.Supervisor
+
+// BaselineConfig parameterizes BootBaseline.
+type BaselineConfig = baseline.Config
+
+// BootBaseline builds the 1974-structure supervisor.
+func BootBaseline(cfg BaselineConfig) (*Baseline, error) { return baseline.BootBaseline(cfg) }
+
+// DefaultBaselineConfig mirrors DefaultConfig.
+func DefaultBaselineConfig() BaselineConfig { return baseline.DefaultConfig() }
+
+// KernelGraph returns the Figure-4 dependency structure of the
+// redesigned kernel.
+func KernelGraph() *deps.Graph { return core.BuildGraph() }
+
+// SuperficialGraph returns Figure 2: the 1974 supervisor from afar.
+func SuperficialGraph() *deps.Graph { return baseline.SuperficialGraph() }
+
+// ActualGraph returns Figure 3: the 1974 supervisor up close.
+func ActualGraph() *deps.Graph { return baseline.ActualGraph() }
+
+// SizeTable regenerates the paper's kernel-size accounting.
+func SizeTable() census.Table { return census.SizeTable() }
+
+// Convenient re-exports for building workloads.
+type (
+	// Label is an AIM sensitivity label.
+	Label = aim.Label
+	// ACL is an access control list.
+	ACL = directory.ACL
+	// Identifier is an opaque directory-entry handle (possibly
+	// mythical).
+	Identifier = directory.Identifier
+)
+
+// Access modes and canonical labels.
+const (
+	Read    = hw.Read
+	Write   = hw.Write
+	Execute = hw.Execute
+)
+
+// Bottom is the lowest AIM label.
+var Bottom = aim.Bottom
+
+// Public returns an ACL granting mode to everyone.
+func Public(mode hw.AccessMode) ACL { return directory.Public(mode) }
+
+// Owner returns an ACL granting one principal full access.
+func Owner(principal string) ACL { return directory.Owner(directory.Principal(principal)) }
