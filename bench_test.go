@@ -34,12 +34,25 @@ import (
 	"multics/internal/hw"
 	"multics/internal/linker"
 	"multics/internal/netmux"
+	"multics/internal/trace"
 	"multics/internal/uproc"
 )
 
 // reportCycles attaches the simulated-cycle metric.
 func reportCycles(b *testing.B, meter *hw.CostMeter) {
 	b.ReportMetric(float64(meter.Cycles())/float64(b.N), "simcycles/op")
+}
+
+// reportAttribution attaches one metric per module that consumed
+// cycles during the timed section, computed from the trace meters as
+// the difference of two snapshots.
+func reportAttribution(b *testing.B, after, before trace.Snapshot) {
+	diff := after.Since(before)
+	for name, st := range diff.Modules {
+		if c := st.TotalCycles(); c > 0 {
+			b.ReportMetric(float64(c)/float64(b.N), name+"-cyc/op")
+		}
+	}
 }
 
 // --- T1: the size table ---
@@ -317,16 +330,22 @@ func BenchmarkPageFault(b *testing.B) {
 		reportCycles(b, s.Meter)
 	})
 	b.Run("kernel-design", func(b *testing.B) {
-		k := bootKernel(b, func(c *Config) { c.MemFrames = frames + 8; c.WiredFrames = 8 })
+		k := bootKernel(b, func(c *Config) {
+			c.MemFrames = frames + 8
+			c.WiredFrames = 8
+			c.TraceEvents = 1 << 12
+		})
 		cpu, p, segno := kernelHotSegment(b, k, pages)
 		b.ResetTimer()
 		k.Meter.Reset()
+		before := k.Trace.Snapshot()
 		for i := 0; i < b.N; i++ {
 			if _, err := k.Read(cpu, p, segno, (i%pages)*hw.PageWords); err != nil {
 				b.Fatal(err)
 			}
 		}
 		reportCycles(b, k.Meter)
+		reportAttribution(b, k.Trace.Snapshot(), before)
 	})
 }
 
@@ -472,7 +491,7 @@ func BenchmarkScheduler(b *testing.B) {
 		reportCycles(b, s.Meter)
 	})
 	b.Run("two-level-kernel", func(b *testing.B) {
-		k := bootKernel(b, nil)
+		k := bootKernel(b, func(c *Config) { c.TraceEvents = 1 << 12 })
 		for i := 0; i < nprocs; i++ {
 			if _, err := k.CreateProcess("u.x", Bottom); err != nil {
 				b.Fatal(err)
@@ -480,12 +499,14 @@ func BenchmarkScheduler(b *testing.B) {
 		}
 		b.ResetTimer()
 		k.Meter.Reset()
+		before := k.Trace.Snapshot()
 		for i := 0; i < b.N; i++ {
 			if _, err := k.Procs.RunQuantum(1, func(*uproc.Process) {}); err != nil {
 				b.Fatal(err)
 			}
 		}
 		reportCycles(b, k.Meter)
+		reportAttribution(b, k.Trace.Snapshot(), before)
 	})
 }
 

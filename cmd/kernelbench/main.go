@@ -10,6 +10,7 @@
 //	P6 quota static cell vs dynamic walk (depth sweep)
 //	P7 network kernel bulk per networks  (paper: linear vs nearly flat)
 //	P8 scheduler one-level vs two-level  (paper: about the same)
+//	P9 fault-storm cycle attribution     (the meters, per module)
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 	p6()
 	p7()
 	p8()
+	p9()
 }
 
 func bootKernel(mutate func(*core.Config)) *core.Kernel {
@@ -179,12 +181,12 @@ func faultStorm(k *core.Kernel) int64 {
 	for i := 0; i < 32; i++ {
 		check(k.Write(cpu, p, segno, i*hw.PageWords, hw.Word(i+1)))
 	}
-	k.Meter.Reset()
+	start := k.Meter.Snapshot()
 	for i := 0; i < 200; i++ {
 		_, err := k.Read(cpu, p, segno, (i%32)*hw.PageWords)
 		check(err)
 	}
-	return k.Meter.Cycles() / 200
+	return k.Meter.Since(start) / 200
 }
 
 func p5() {
@@ -291,4 +293,20 @@ func p8() {
 	two := k.Meter.Cycles() / 100
 	fmt.Printf("P8 scheduler quantum:  one-level %4d cyc, two-level %4d cyc (%s)  [paper: about the same]\n",
 		one, two, ratio(two, one))
+}
+
+// p9 reruns the P5 fault storm on a traced kernel and attributes its
+// cycles module by module: the meters say where the page-fault path
+// actually spends its time.
+func p9() {
+	fmt.Println("P9 fault-storm cycle attribution (event tracing on):")
+	k := bootKernel(func(c *core.Config) {
+		c.MemFrames = 24
+		c.WiredFrames = 8
+		c.TraceEvents = 1 << 14
+	})
+	before := k.Trace.Snapshot()
+	faultStorm(k)
+	diff := k.Trace.Snapshot().Since(before)
+	fmt.Print(diff.Table(k.CertificationOrder()))
 }

@@ -75,13 +75,13 @@ func TestShapePageFaultPath(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		s.Meter.Reset()
+		start := s.Meter.Snapshot()
 		for i := 0; i < 200; i++ {
 			if _, err := s.Read(cpu, p, segno, (i%pages)*hw.PageWords); err != nil {
 				t.Fatal(err)
 			}
 		}
-		return s.Meter.Cycles()
+		return s.Meter.Since(start)
 	}()
 	kernelCost := func() int64 {
 		k := kernelFixture(t, func(c *Config) { c.MemFrames = frames + 8; c.WiredFrames = 8 })
@@ -103,13 +103,13 @@ func TestShapePageFaultPath(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		k.Meter.Reset()
+		start := k.Meter.Snapshot()
 		for i := 0; i < 200; i++ {
 			if _, err := k.Read(cpu, p, segno, (i%pages)*hw.PageWords); err != nil {
 				t.Fatal(err)
 			}
 		}
-		return k.Meter.Cycles()
+		return k.Meter.Since(start)
 	}()
 	if kernelCost <= baselineCost {
 		t.Errorf("kernel fault path %d cycles <= baseline %d; the redesign should cost slightly more", kernelCost, baselineCost)
@@ -146,13 +146,13 @@ func TestShapeQuotaCost(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		k.Meter.Reset()
+		start := k.Meter.Snapshot()
 		for i := 0; i < 50; i++ {
 			if err := k.Write(cpu, p, segno, i*hw.PageWords, 1); err != nil {
 				t.Fatal(err)
 			}
 		}
-		return k.Meter.Cycles()
+		return k.Meter.Since(start)
 	}
 	baselineCostAt := func(depth int) int64 {
 		s := baselineFixture(t, nil)
@@ -178,13 +178,13 @@ func TestShapeQuotaCost(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.Meter.Reset()
+		start := s.Meter.Snapshot()
 		for i := 0; i < 50; i++ {
 			if err := s.Write(cpu, p, segno, i*hw.PageWords, 1); err != nil {
 				t.Fatal(err)
 			}
 		}
-		return s.Meter.Cycles()
+		return s.Meter.Since(start)
 	}
 	k1, k8 := kernelCostAt(1), kernelCostAt(8)
 	b1, b8 := baselineCostAt(1), baselineCostAt(8)
@@ -211,11 +211,11 @@ func TestShapeTwoLevelScheduler(t *testing.T) {
 		for i := 0; i < 4; i++ {
 			s.CreateProcess("u.x")
 		}
-		s.Meter.Reset()
+		start := s.Meter.Snapshot()
 		if _, err := s.RunQuantum(100, func(*baseline.Process) {}); err != nil {
 			t.Fatal(err)
 		}
-		return s.Meter.Cycles()
+		return s.Meter.Since(start)
 	}()
 	twoLevel := func() int64 {
 		k := kernelFixture(t, nil)
@@ -224,11 +224,11 @@ func TestShapeTwoLevelScheduler(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		k.Meter.Reset()
+		start := k.Meter.Snapshot()
 		if _, err := k.Procs.RunQuantum(100, func(*uproc.Process) {}); err != nil {
 			t.Fatal(err)
 		}
-		return k.Meter.Cycles()
+		return k.Meter.Since(start)
 	}()
 	diff := twoLevel - oneLevel
 	if diff < 0 {

@@ -158,7 +158,7 @@ func (s *Service) Register(principal, password string, clearance aim.Label) erro
 // In the split configuration the work flows through both halves with
 // message passing between them.
 func (s *Service) Login(principal, password string, label aim.Label) (*Session, error) {
-	start := s.meter.Cycles()
+	start := s.meter.Snapshot()
 	switch s.Mode {
 	case Monolithic:
 		s.meter.AddBody(bodyLoginTotal, hw.PLI)
@@ -188,7 +188,7 @@ func (s *Service) Login(principal, password string, label aim.Label) (*Session, 
 	s.records = append(s.records, SessionRecord{
 		Principal:   principal,
 		Label:       label,
-		LoginCycles: s.meter.Cycles() - start,
+		LoginCycles: s.meter.Since(start),
 		Open:        true,
 	})
 	return &Session{Principal: principal, Label: label, Process: proc, record: len(s.records) - 1}, nil

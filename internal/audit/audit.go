@@ -20,6 +20,7 @@ import (
 
 	"multics/internal/core"
 	"multics/internal/disk"
+	"multics/internal/hw"
 	"multics/internal/quota"
 )
 
@@ -28,9 +29,14 @@ import (
 type Finding struct {
 	Module string
 	Detail string
+	// Cycle is the simulated cycle clock at which the violation was
+	// detected.
+	Cycle int64
 }
 
-func (f Finding) String() string { return f.Module + ": " + f.Detail }
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (detected at cycle %d)", f.Module, f.Detail, f.Cycle)
+}
 
 // A Report is the result of one audit pass.
 type Report struct {
@@ -39,6 +45,9 @@ type Report struct {
 	// Findings is every violation, in audit order. An empty list is
 	// a clean audit.
 	Findings []Finding
+	// Cycles is the simulated cost of the audit pass itself: the
+	// auditors' reads are metered like everyone else's.
+	Cycles int64
 }
 
 // Clean reports whether the audit found nothing.
@@ -50,6 +59,7 @@ func (r Report) String() string {
 	for i, layer := range r.Order {
 		fmt.Fprintf(&b, "    layer %d: %s\n", i, strings.Join(layer, ", "))
 	}
+	fmt.Fprintf(&b, "audit pass cost %d simulated cycles\n", r.Cycles)
 	if r.Clean() {
 		b.WriteString("no findings: every module invariant and the global accounting balance hold\n")
 		return b.String()
@@ -64,11 +74,12 @@ func (r Report) String() string {
 // Run performs a full audit pass over a live kernel: the structural
 // check, each manager's self-audit in certification order, and the
 // cross-module storage-accounting balance.
-func Run(k *core.Kernel) Report {
-	var r Report
+func Run(k *core.Kernel) (r Report) {
+	start := k.Meter.Snapshot()
+	defer func() { r.Cycles = k.Meter.Since(start) }()
 	add := func(module string, details []string) {
 		for _, d := range details {
-			r.Findings = append(r.Findings, Finding{Module: module, Detail: d})
+			r.Findings = append(r.Findings, Finding{Module: module, Detail: d, Cycle: k.Meter.Cycles()})
 		}
 	}
 
@@ -118,6 +129,9 @@ func Balance(k *core.Kernel) (charged, allocated int, problems []string) {
 		}
 		allocated += pack.UsedRecords()
 		pack.EachEntry(func(idx disk.TOCIndex, e disk.TOCEntry) {
+			// The auditor's table probe is metered like any other
+			// reference.
+			k.Meter.Add(hw.CycMemRef)
 			if !e.Quota.Valid {
 				return
 			}

@@ -1,18 +1,27 @@
 package core
 
-import "multics/internal/deps"
+import (
+	"multics/internal/deps"
+	"multics/internal/disk"
+	"multics/internal/pageframe"
+	"multics/internal/quota"
+	"multics/internal/uproc"
+	"multics/internal/vproc"
+)
 
 // Module names of the Kernel/Multics design (Figure 4 of the paper).
+// Instrumented managers own their names (their trace events must carry
+// the same strings); the rest are defined here.
 const (
 	ModCoreSeg  = "core-segment-manager"
-	ModVProc    = "virtual-processor-manager"
-	ModDisk     = "disk-record-manager"
-	ModFrame    = "page-frame-manager"
-	ModQuota    = "quota-cell-manager"
+	ModVProc    = vproc.ModuleName
+	ModDisk     = disk.ModuleName
+	ModFrame    = pageframe.ModuleName
+	ModQuota    = quota.ModuleName
 	ModSegment  = "active-segment-manager"
 	ModKnownSeg = "known-segment-manager"
 	ModDir      = "directory-manager"
-	ModUProc    = "user-process-manager"
+	ModUProc    = uproc.ModuleName
 )
 
 // BuildGraph constructs the dependency structure of the redesigned

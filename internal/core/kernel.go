@@ -28,6 +28,7 @@ import (
 	"multics/internal/pageframe"
 	"multics/internal/quota"
 	"multics/internal/segment"
+	"multics/internal/trace"
 	"multics/internal/uproc"
 	"multics/internal/upsignal"
 	"multics/internal/vproc"
@@ -63,6 +64,10 @@ type Config struct {
 	Daemons bool
 	// Seed fixes identifier fabrication for reproducibility.
 	Seed uint64
+	// TraceEvents, when positive, boots with event tracing on,
+	// retaining that many events in the trace ring. Zero boots
+	// untraced (every emission site then costs one nil check).
+	TraceEvents int
 }
 
 // DefaultConfig returns a small but fully functional machine.
@@ -96,6 +101,8 @@ type Kernel struct {
 	Queue    *uproc.Queue
 	Graph    *deps.Graph
 	CPUs     []*hw.Processor
+	// Trace is the kernel event recorder, nil until StartTrace.
+	Trace *trace.Recorder
 
 	cfg Config
 	// restores counts processes resumed after relocation notices.
@@ -232,7 +239,47 @@ func Boot(cfg Config) (*Kernel, error) {
 	}
 
 	cm.Seal()
+	if cfg.TraceEvents > 0 {
+		k.StartTrace(cfg.TraceEvents)
+	}
 	return k, nil
+}
+
+// StartTrace turns on kernel-wide event tracing: it creates a
+// recorder retaining capacity events (non-positive selects
+// trace.DefaultCapacity) stamped by the kernel's cycle meter,
+// registers every module of the dependency graph as a legal event
+// source, and threads the sink through the hardware and every
+// instrumented manager. The recorder is returned and kept as
+// k.Trace.
+func (k *Kernel) StartTrace(capacity int) *trace.Recorder {
+	rec := trace.NewRecorder(capacity, k.Meter)
+	rec.Register(k.Graph.Modules()...)
+	// Each fault kind is charged to the module that services it.
+	// Access, bounds and gate violations have no kernel service —
+	// they are returned to the process that erred — so they are
+	// charged to the user process manager, which owns that delivery.
+	faultModules := map[hw.FaultKind]string{
+		hw.FaultMissingSegment:   ModKnownSeg,
+		hw.FaultMissingPage:      ModFrame,
+		hw.FaultLockedDescriptor: ModFrame,
+		hw.FaultQuota:            ModQuota,
+		hw.FaultAccess:           ModUProc,
+		hw.FaultBounds:           ModUProc,
+		hw.FaultGate:             ModUProc,
+	}
+	for _, cpu := range k.CPUs {
+		cpu.Trace = rec
+		cpu.FaultModules = faultModules
+	}
+	k.Vols.SetTrace(rec)
+	k.VProcs.SetTrace(rec)
+	k.Frames.SetTrace(rec)
+	k.Cells.SetTrace(rec)
+	k.Procs.SetTrace(rec)
+	k.Signals.SetTrace(rec)
+	k.Trace = rec
+	return rec
 }
 
 // Restores reports how many relocation notices resumed a process.

@@ -31,12 +31,14 @@ func (k *Kernel) CreateProcess(principal string, label aim.Label) (*uproc.Proces
 	return k.Procs.Create(principal, label)
 }
 
-// gate runs fn in ring zero via a gate crossing on cpu (cpu may be nil
-// for kernel-internal callers).
-func (k *Kernel) gate(cpu *hw.Processor, fn func() error) error {
+// gate runs fn in ring zero via a gate crossing on cpu (cpu may be
+// nil for kernel-internal callers). module names the manager the
+// crossing is attributed to in the kernel trace.
+func (k *Kernel) gate(cpu *hw.Processor, module string, fn func() error) error {
 	if cpu == nil {
 		return fn()
 	}
+	cpu.GateModule = module
 	return cpu.GateCall(hw.KernelRing, true, fn)
 }
 
@@ -44,7 +46,7 @@ func (k *Kernel) gate(cpu *hw.Processor, fn func() error) error {
 // primitive.
 func (k *Kernel) Search(cpu *hw.Processor, p *uproc.Process, dirID directory.Identifier, name string) (directory.Identifier, error) {
 	var id directory.Identifier
-	err := k.gate(cpu, func() error {
+	err := k.gate(cpu, ModDir, func() error {
 		var err error
 		id, err = k.Dirs.Search(directory.Principal(p.Principal()), p.Label(), dirID, name)
 		return err
@@ -73,7 +75,7 @@ func (k *Kernel) WalkPath(cpu *hw.Processor, p *uproc.Process, path []string) (d
 // only "found" or "no access".
 func (k *Kernel) ResolveKernel(cpu *hw.Processor, p *uproc.Process, path []string) (directory.Identifier, error) {
 	var id directory.Identifier
-	err := k.gate(cpu, func() error {
+	err := k.gate(cpu, ModDir, func() error {
 		var err error
 		id, err = k.Dirs.ResolvePathKernel(directory.Principal(p.Principal()), p.Label(), path)
 		return err
@@ -86,7 +88,7 @@ func (k *Kernel) ResolveKernel(cpu *hw.Processor, p *uproc.Process, path []strin
 // a missing-segment fault and connect through the standard machinery.
 func (k *Kernel) Open(cpu *hw.Processor, p *uproc.Process, id directory.Identifier) (int, error) {
 	var segno int
-	err := k.gate(cpu, func() error {
+	err := k.gate(cpu, ModDir, func() error {
 		grant, err := k.Dirs.Initiate(directory.Principal(p.Principal()), p.Label(), id)
 		if err != nil {
 			return err
@@ -117,7 +119,7 @@ func (k *Kernel) CreateFile(cpu *hw.Processor, p *uproc.Process, dirPath []strin
 		return 0, err
 	}
 	var id directory.Identifier
-	err = k.gate(cpu, func() error {
+	err = k.gate(cpu, ModDir, func() error {
 		var err error
 		id, err = k.Dirs.Create(directory.Principal(p.Principal()), p.Label(), dirID, name, false, acl, label)
 		return err
@@ -133,7 +135,7 @@ func (k *Kernel) CreateDir(cpu *hw.Processor, p *uproc.Process, dirPath []string
 		return 0, err
 	}
 	var id directory.Identifier
-	err = k.gate(cpu, func() error {
+	err = k.gate(cpu, ModDir, func() error {
 		var err error
 		id, err = k.Dirs.Create(directory.Principal(p.Principal()), p.Label(), dirID, name, true, acl, label)
 		return err
@@ -143,7 +145,7 @@ func (k *Kernel) CreateDir(cpu *hw.Processor, p *uproc.Process, dirPath []string
 
 // SetACL replaces the ACL of the object named by id.
 func (k *Kernel) SetACL(cpu *hw.Processor, p *uproc.Process, id directory.Identifier, acl directory.ACL) error {
-	return k.gate(cpu, func() error {
+	return k.gate(cpu, ModDir, func() error {
 		return k.Dirs.SetACL(directory.Principal(p.Principal()), p.Label(), id, acl)
 	})
 }
@@ -155,7 +157,7 @@ func (k *Kernel) Rename(cpu *hw.Processor, p *uproc.Process, dirPath []string, o
 	if err != nil {
 		return err
 	}
-	return k.gate(cpu, func() error {
+	return k.gate(cpu, ModDir, func() error {
 		return k.Dirs.Rename(directory.Principal(p.Principal()), p.Label(), dirID, oldName, newName)
 	})
 }
@@ -164,7 +166,7 @@ func (k *Kernel) Rename(cpu *hw.Processor, p *uproc.Process, dirPath []string, o
 // newPages, releasing their storage and quota. The caller needs write
 // access to the segment.
 func (k *Kernel) Truncate(cpu *hw.Processor, p *uproc.Process, segno, newPages int) error {
-	return k.gate(cpu, func() error {
+	return k.gate(cpu, ModSegment, func() error {
 		e, err := p.KST().Entry(segno)
 		if err != nil {
 			return err
@@ -186,7 +188,7 @@ func (k *Kernel) Truncate(cpu *hw.Processor, p *uproc.Process, segno, newPages i
 // DesignateQuota makes the (childless) directory named by id a quota
 // directory.
 func (k *Kernel) DesignateQuota(cpu *hw.Processor, p *uproc.Process, id directory.Identifier, limit int) error {
-	return k.gate(cpu, func() error {
+	return k.gate(cpu, ModDir, func() error {
 		return k.Dirs.DesignateQuota(directory.Principal(p.Principal()), p.Label(), id, limit)
 	})
 }
@@ -239,14 +241,14 @@ func (k *Kernel) access(cpu *hw.Processor, p *uproc.Process, segno, off int, wri
 func (k *Kernel) handleFault(cpu *hw.Processor, p *uproc.Process, f *hw.Fault) error {
 	switch f.Kind {
 	case hw.FaultMissingSegment:
-		return k.gate(cpu, func() error {
+		return k.gate(cpu, ModKnownSeg, func() error {
 			return k.KSM.ServiceMissingSegment(p.KST(), p.DT(), f.Seg)
 		})
 	case hw.FaultMissingPage:
 		// With descriptor-lock hardware the faulting processor set
 		// the lock bit and owns the service; a processor that lost
 		// the race would have seen FaultLockedDescriptor instead.
-		return k.gate(cpu, func() error {
+		return k.gate(cpu, ModKnownSeg, func() error {
 			return k.KSM.ServiceMissingPage(p.KST(), f.Seg, f.Page)
 		})
 	case hw.FaultLockedDescriptor:
@@ -256,11 +258,11 @@ func (k *Kernel) handleFault(cpu *hw.Processor, p *uproc.Process, f *hw.Fault) e
 			// rereference will take a missing-segment fault.
 			return nil
 		}
-		return k.gate(cpu, func() error {
+		return k.gate(cpu, ModFrame, func() error {
 			return k.Frames.WaitUnlock(cpu, sdw.Table, f.Page)
 		})
 	case hw.FaultQuota:
-		return k.gate(cpu, func() error {
+		return k.gate(cpu, ModKnownSeg, func() error {
 			return k.KSM.ServiceQuotaFault(p.KST(), f.Seg, f.Page, p.ID())
 		})
 	default:

@@ -23,7 +23,12 @@ import (
 	"sync"
 
 	"multics/internal/hw"
+	"multics/internal/trace"
 )
+
+// ModuleName is this manager's name in the kernel dependency graph;
+// trace events for record transfers are attributed to it.
+const ModuleName = "disk-record-manager"
 
 // ErrPackFull is reported when a record allocation finds no free
 // record on the pack: the full-disk-pack exception of the paper.
@@ -129,6 +134,15 @@ type Pack struct {
 	data    map[RecordAddr][]hw.Word
 	toc     []TOCEntry
 	meter   *hw.CostMeter
+	sink    trace.Sink
+}
+
+// SetTrace routes this pack's record transfers to s (nil turns
+// tracing off).
+func (p *Pack) SetTrace(s trace.Sink) {
+	p.mu.Lock()
+	p.sink = s
+	p.mu.Unlock()
 }
 
 // NewPack returns a mounted pack with the given identifier and record
@@ -226,6 +240,9 @@ func (p *Pack) ReadRecord(r RecordAddr, dst []hw.Word) error {
 		return fmt.Errorf("disk: record %d outside pack %s", r, p.id)
 	}
 	p.meter.Add(hw.CycDiskSeek + hw.CycDiskRecord)
+	if p.sink != nil {
+		p.sink.Emit(trace.Event{Kind: trace.EvDiskRead, Module: ModuleName, Cost: hw.CycDiskSeek + hw.CycDiskRecord, Arg0: int64(r)})
+	}
 	if d, ok := p.data[r]; ok {
 		copy(dst, d)
 	} else {
@@ -248,6 +265,9 @@ func (p *Pack) WriteRecord(r RecordAddr, src []hw.Word) error {
 		return fmt.Errorf("disk: record %d outside pack %s", r, p.id)
 	}
 	p.meter.Add(hw.CycDiskSeek + hw.CycDiskRecord)
+	if p.sink != nil {
+		p.sink.Emit(trace.Event{Kind: trace.EvDiskWrite, Module: ModuleName, Cost: hw.CycDiskSeek + hw.CycDiskRecord, Arg0: int64(r)})
+	}
 	d, ok := p.data[r]
 	if !ok {
 		d = make([]hw.Word, hw.PageWords)
@@ -363,6 +383,22 @@ type Volumes struct {
 	mu    sync.Mutex
 	packs map[string]*Pack
 	meter *hw.CostMeter
+	sink  trace.Sink
+}
+
+// SetTrace routes record transfers on every pack — mounted now or
+// added later — to s.
+func (v *Volumes) SetTrace(s trace.Sink) {
+	v.mu.Lock()
+	v.sink = s
+	packs := make([]*Pack, 0, len(v.packs))
+	for _, p := range v.packs {
+		packs = append(packs, p)
+	}
+	v.mu.Unlock()
+	for _, p := range packs {
+		p.SetTrace(s)
+	}
 }
 
 // NewVolumes returns an empty volume registry.
@@ -378,6 +414,7 @@ func (v *Volumes) AddPack(id string, capacity int) (*Pack, error) {
 		return nil, fmt.Errorf("disk: pack %s already mounted", id)
 	}
 	p := NewPack(id, capacity, v.meter)
+	p.SetTrace(v.sink)
 	v.packs[id] = p
 	return p, nil
 }
@@ -404,6 +441,7 @@ func (v *Volumes) Mount(p *Pack) error {
 	}
 	p.mu.Lock()
 	p.mounted = true
+	p.sink = v.sink
 	p.mu.Unlock()
 	v.packs[p.ID()] = p
 	return nil

@@ -13,7 +13,11 @@
 // eventcount to build mutual exclusion without a shared lock word.
 package eventcount
 
-import "sync"
+import (
+	"sync"
+
+	"multics/internal/trace"
+)
 
 // An Eventcount is a monotonically increasing event counter. The zero
 // value is a valid eventcount at zero.
@@ -21,6 +25,22 @@ type Eventcount struct {
 	mu      sync.Mutex
 	count   uint64
 	changed chan struct{}
+
+	// sink and module route await/advance operations into the
+	// kernel trace when the owning manager calls Trace; the zero
+	// value emits nothing.
+	sink   trace.Sink
+	module string
+}
+
+// Trace routes this eventcount's await and advance operations to s,
+// attributed to module (the owning manager's dependency-graph name).
+// A nil s turns tracing off.
+func (e *Eventcount) Trace(s trace.Sink, module string) {
+	e.mu.Lock()
+	e.sink = s
+	e.module = module
+	e.mu.Unlock()
 }
 
 // Read returns the current value. A value read is a lower bound on
@@ -37,6 +57,9 @@ func (e *Eventcount) Advance() uint64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.count++
+	if e.sink != nil {
+		e.sink.Emit(trace.Event{Kind: trace.EvAdvance, Module: e.module, Arg0: int64(e.count)})
+	}
 	if e.changed != nil {
 		close(e.changed)
 		e.changed = nil
@@ -56,6 +79,9 @@ func (e *Eventcount) Await(v uint64) uint64 {
 		}
 		if e.changed == nil {
 			e.changed = make(chan struct{})
+		}
+		if e.sink != nil {
+			e.sink.Emit(trace.Event{Kind: trace.EvAwait, Module: e.module, Arg0: int64(v), Arg1: int64(e.count)})
 		}
 		ch := e.changed
 		e.mu.Unlock()

@@ -103,3 +103,21 @@ func (m *CostMeter) Reset() {
 		m.cycles.Store(0)
 	}
 }
+
+// A MeterSnapshot is the meter's reading at one instant. Taking one
+// and later asking Since is the idiom for costing an interval;
+// callers should not subtract raw Cycles values by hand.
+type MeterSnapshot struct {
+	// Cycles is the meter reading when the snapshot was taken.
+	Cycles int64
+}
+
+// Snapshot captures the meter's current reading.
+func (m *CostMeter) Snapshot() MeterSnapshot {
+	return MeterSnapshot{Cycles: m.Cycles()}
+}
+
+// Since reports the cycles accrued since prev was taken.
+func (m *CostMeter) Since(prev MeterSnapshot) int64 {
+	return m.Cycles() - prev.Cycles
+}

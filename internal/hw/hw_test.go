@@ -456,7 +456,7 @@ func TestGateCall(t *testing.T) {
 	if p.Ring != UserRing {
 		t.Fatalf("start ring = %d", p.Ring)
 	}
-	before := p.Meter.Cycles()
+	before := p.Meter.Snapshot()
 	var ringInside int
 	if err := p.GateCall(KernelRing, true, func() error {
 		ringInside = p.Ring
@@ -470,7 +470,7 @@ func TestGateCall(t *testing.T) {
 	if p.Ring != UserRing {
 		t.Errorf("ring after return = %d, want %d", p.Ring, UserRing)
 	}
-	if got := p.Meter.Cycles() - before; got < 2*CycRingCross {
+	if got := p.Meter.Since(before); got < 2*CycRingCross {
 		t.Errorf("gate call accrued %d cycles, want >= %d", got, 2*CycRingCross)
 	}
 	// Inward call without a gate faults.
@@ -479,11 +479,11 @@ func TestGateCall(t *testing.T) {
 		t.Errorf("inward non-gate call: %v, want gate fault", err)
 	}
 	// Same-ring call needs no gate and accrues no crossing cost.
-	before = p.Meter.Cycles()
+	before = p.Meter.Snapshot()
 	if err := p.GateCall(UserRing, false, func() error { return nil }); err != nil {
 		t.Fatal(err)
 	}
-	if got := p.Meter.Cycles() - before; got != 0 {
+	if got := p.Meter.Since(before); got != 0 {
 		t.Errorf("same-ring call accrued %d cycles", got)
 	}
 	if err := p.GateCall(NRings, true, func() error { return nil }); err == nil {

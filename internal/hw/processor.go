@@ -3,7 +3,22 @@ package hw
 import (
 	"fmt"
 	"sync/atomic"
+
+	"multics/internal/trace"
 )
+
+func init() {
+	// Teach the trace exporters the hardware's fault-kind names, so
+	// the trace package needs no dependency on this one.
+	trace.SetFaultNamer(func(kind int) string { return FaultKind(kind).String() })
+}
+
+// UnattributedModule is the module name stamped on trace events when
+// the kernel has not told the processor whom to charge (a missing
+// FaultModules entry or an unset GateModule). It is deliberately not
+// a dependency-graph module name, so the unknown-module lint catches
+// instrumentation that drifted out of sync.
+const UnattributedModule = "unattributed"
 
 // NRings is the number of protection rings (Multics hardware provides
 // eight).
@@ -56,12 +71,55 @@ type Processor struct {
 	// locked-descriptor or missing-page fault.
 	lockedSeg  atomic.Int64
 	lockedPage atomic.Int64
+
+	// Trace receives fault and ring-crossing events when non-nil.
+	Trace trace.Sink
+	// FaultModules attributes each fault kind to the module that
+	// services it; the kernel fills it from its dependency graph.
+	FaultModules map[FaultKind]string
+	// GateModule is the module the current gate call is attributed
+	// to; the kernel's gate wrapper sets it per processor before
+	// each GateCall, so no cross-processor race exists.
+	GateModule string
 }
 
 // NewProcessor returns a processor with the given id attached to mem,
 // metering onto meter (which may be nil).
 func NewProcessor(id int, mem *Memory, meter *CostMeter) *Processor {
 	return &Processor{ID: id, Mem: mem, Meter: meter, Ring: KernelRing}
+}
+
+// emitFault traces one taken fault, charged the cycles the hardware
+// actually metered for it. The module charged is the one the kernel
+// registered to service that fault kind.
+func (p *Processor) emitFault(f *Fault, cost int64) {
+	if p.Trace == nil {
+		return
+	}
+	mod := p.FaultModules[f.Kind]
+	if mod == "" {
+		mod = UnattributedModule
+	}
+	p.Trace.Emit(trace.Event{
+		Kind: trace.EvFault, Module: mod, Cost: cost,
+		Arg0: int64(f.Kind), Arg1: int64(f.Seg), Arg2: int64(f.Page),
+	})
+}
+
+// emitCross traces one ring crossing, attributed to the module the
+// kernel's gate wrapper named.
+func (p *Processor) emitCross(from, to int) {
+	if p.Trace == nil {
+		return
+	}
+	mod := p.GateModule
+	if mod == "" {
+		mod = UnattributedModule
+	}
+	p.Trace.Emit(trace.Event{
+		Kind: trace.EvGateCross, Module: mod, Cost: CycRingCross,
+		Arg0: int64(from), Arg1: int64(to),
+	})
 }
 
 // tableFor selects the descriptor table and reports whether the
@@ -83,21 +141,21 @@ func (p *Processor) Translate(segno, offset int, mode AccessMode) (int, error) {
 	p.Meter.Add(CycTableWalk)
 	dt, system := p.tableFor(segno)
 	if dt == nil {
-		return 0, &Fault{Kind: FaultMissingSegment, Seg: segno, Offset: offset, Ring: p.Ring}
+		return 0, p.fault(&Fault{Kind: FaultMissingSegment, Seg: segno, Offset: offset, Ring: p.Ring}, 0)
 	}
 	sdw, err := dt.Get(segno)
 	if err != nil || !sdw.Present || sdw.Table == nil {
-		return 0, &Fault{Kind: FaultMissingSegment, Seg: segno, Offset: offset, Ring: p.Ring}
+		return 0, p.fault(&Fault{Kind: FaultMissingSegment, Seg: segno, Offset: offset, Ring: p.Ring}, 0)
 	}
 	if system && p.Ring > KernelRing {
 		// System segment numbers are not visible outside ring 0.
-		return 0, &Fault{Kind: FaultAccess, Seg: segno, Offset: offset, Ring: p.Ring}
+		return 0, p.fault(&Fault{Kind: FaultAccess, Seg: segno, Offset: offset, Ring: p.Ring}, 0)
 	}
 	if p.Ring > sdw.MaxRing || !sdw.Access.Has(mode) || (mode.Has(Write) && p.Ring > sdw.WriteRing) {
-		return 0, &Fault{Kind: FaultAccess, Seg: segno, Offset: offset, Write: mode.Has(Write), Ring: p.Ring}
+		return 0, p.fault(&Fault{Kind: FaultAccess, Seg: segno, Offset: offset, Write: mode.Has(Write), Ring: p.Ring}, 0)
 	}
 	if offset < 0 {
-		return 0, &Fault{Kind: FaultBounds, Seg: segno, Offset: offset, Ring: p.Ring}
+		return 0, p.fault(&Fault{Kind: FaultBounds, Seg: segno, Offset: offset, Ring: p.Ring}, 0)
 	}
 	page := PageOf(offset)
 	ptw, kind, faulted, locked := sdw.Table.translate(page, mode.Has(Write), p.DescriptorLockHW)
@@ -107,13 +165,20 @@ func (p *Processor) Translate(segno, offset int, mode AccessMode) (int, error) {
 			p.lockedSeg.Store(int64(segno))
 			p.lockedPage.Store(int64(page))
 		}
-		return 0, &Fault{
+		return 0, p.fault(&Fault{
 			Kind: kind, Seg: segno, Offset: offset, Page: page,
 			Write: mode.Has(Write), Ring: p.Ring, Locked: locked,
-		}
+		}, CycFault)
 	}
 	p.Meter.Add(CycMemRef)
 	return p.Mem.FrameBase(ptw.Frame) + offset%PageWords, nil
+}
+
+// fault traces f (charged the cycles the hardware metered for it) and
+// returns it.
+func (p *Processor) fault(f *Fault, cost int64) error {
+	p.emitFault(f, cost)
+	return f
 }
 
 // Read loads the word at virtual address (segno, offset).
@@ -143,17 +208,19 @@ func (p *Processor) GateCall(to int, gate bool, fn func() error) error {
 	}
 	if to < p.Ring && !gate {
 		p.Meter.Add(CycFault)
-		return &Fault{Kind: FaultGate, Ring: p.Ring}
+		return p.fault(&Fault{Kind: FaultGate, Ring: p.Ring}, CycFault)
 	}
 	from := p.Ring
 	if to != from {
 		p.Meter.Add(CycRingCross)
+		p.emitCross(from, to)
 	}
 	p.Ring = to
 	err := fn()
 	p.Ring = from
 	if to != from {
 		p.Meter.Add(CycRingCross)
+		p.emitCross(to, from)
 	}
 	return err
 }

@@ -51,7 +51,7 @@ func TestSnapOnceThenCached(t *testing.T) {
 	if lk.Snapped() != 1 || l.Faults() != 1 {
 		t.Errorf("snapped=%d faults=%d", lk.Snapped(), l.Faults())
 	}
-	costAfterSnap := meter.Cycles()
+	afterSnap := meter.Snapshot()
 	t2, err := l.Reference(cpu, lk, "sqrt_")
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +62,7 @@ func TestSnapOnceThenCached(t *testing.T) {
 	if l.Faults() != 1 {
 		t.Error("second reference faulted")
 	}
-	if got := meter.Cycles() - costAfterSnap; got > 5 {
+	if got := meter.Since(afterSnap); got > 5 {
 		t.Errorf("snapped reference cost %d cycles; should be an indirect word", got)
 	}
 }

@@ -45,8 +45,14 @@ import (
 	"multics/internal/disk"
 	"multics/internal/eventcount"
 	"multics/internal/hw"
+	"multics/internal/trace"
 	"multics/internal/vproc"
 )
+
+// ModuleName is this manager's name in the kernel dependency graph;
+// trace events for page fetches, evictions and descriptor-lock waits
+// are attributed to it.
+const ModuleName = "page-frame-manager"
 
 // PageWriterModule is the kernel module name of the dedicated
 // write-back process.
@@ -126,6 +132,7 @@ type Manager struct {
 	Daemons bool
 
 	mu      sync.Mutex
+	sink    trace.Sink
 	first   int
 	frames  []frameInfo // index 0 is absolute frame `first`
 	free    []int       // absolute frame numbers
@@ -133,6 +140,29 @@ type Manager struct {
 	unlocks map[descKey]*eventcount.Eventcount
 
 	faults, evictions, zeroEvictions int64
+}
+
+// SetTrace routes page fetch/evict and lock-wait events to s, and
+// retraces the unlock eventcounts so their await/advance operations
+// are attributed to this manager.
+func (m *Manager) SetTrace(s trace.Sink) {
+	m.mu.Lock()
+	m.sink = s
+	for _, ec := range m.unlocks {
+		ec.Trace(s, ModuleName)
+	}
+	m.mu.Unlock()
+}
+
+// emit sends e when tracing is on; the sink is read under the
+// manager lock.
+func (m *Manager) emit(e trace.Event) {
+	m.mu.Lock()
+	s := m.sink
+	m.mu.Unlock()
+	if s != nil {
+		s.Emit(e)
+	}
 }
 
 // NewManager returns a page frame manager owning frames
@@ -226,6 +256,17 @@ func (m *Manager) LoadPage(req PageReq) ([]Evicted, error) {
 		pack: req.Pack, record: req.Record, hasRecord: req.HasRecord,
 	}
 	m.faults++
+	if m.sink != nil {
+		from := int64(0) // zero page
+		if req.HasRecord {
+			from = 1 // disk record
+		}
+		m.sink.Emit(trace.Event{
+			Kind: trace.EvPageFetch, Module: ModuleName,
+			Cost: hw.BodyCycles(bodyFaultService, m.Lang),
+			Arg0: int64(req.UID), Arg1: int64(req.Page), Arg2: from,
+		})
+	}
 	m.mu.Unlock()
 	if _, err := req.PT.Update(req.Page, func(d *hw.PTW) {
 		d.Present = true
@@ -275,6 +316,13 @@ func (m *Manager) AddPage(req PageReq) (disk.RecordAddr, []Evicted, error) {
 		pack: req.Pack, record: rec, hasRecord: true,
 	}
 	m.faults++
+	if m.sink != nil {
+		m.sink.Emit(trace.Event{
+			Kind: trace.EvPageFetch, Module: ModuleName,
+			Cost: hw.BodyCycles(bodyFaultService, m.Lang),
+			Arg0: int64(req.UID), Arg1: int64(req.Page), Arg2: 2, // never-before-used
+		})
+	}
 	m.mu.Unlock()
 	if req.Page >= req.PT.Len() {
 		req.PT.Grow(req.Page + 1)
@@ -321,6 +369,7 @@ func (m *Manager) WaitUnlock(proc *hw.Processor, pt *hw.PageTable, page int) err
 	ec := m.unlocks[key]
 	if ec == nil {
 		ec = new(eventcount.Eventcount)
+		ec.Trace(m.sink, ModuleName)
 		m.unlocks[key] = ec
 	}
 	target := ec.Read() + 1
@@ -334,6 +383,7 @@ func (m *Manager) WaitUnlock(proc *hw.Processor, pt *hw.PageTable, page int) err
 		return nil // already serviced
 	}
 	m.meter.Add(hw.CycLockWait)
+	m.emit(trace.Event{Kind: trace.EvLockSpin, Module: ModuleName, Cost: hw.CycLockWait, Arg0: int64(page)})
 	m.vps.Wait(proc, ec, target)
 	return nil
 }
@@ -433,6 +483,11 @@ func (m *Manager) writeBack(frame int, info frameInfo) (*Evicted, error) {
 		ev.Pack = info.pack.ID()
 		ev.Record = info.record
 	}
+	var wasZero int64
+	if zero {
+		wasZero = 1
+	}
+	m.emit(trace.Event{Kind: trace.EvPageEvict, Module: ModuleName, Arg0: int64(info.uid), Arg1: int64(info.page), Arg2: wasZero})
 	if zero {
 		m.mu.Lock()
 		m.zeroEvictions++

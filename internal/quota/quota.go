@@ -26,7 +26,12 @@ import (
 	"multics/internal/coreseg"
 	"multics/internal/disk"
 	"multics/internal/hw"
+	"multics/internal/trace"
 )
+
+// ModuleName is this manager's name in the kernel dependency graph;
+// trace events for quota checks are attributed to it.
+const ModuleName = "quota-cell-manager"
 
 // ErrExceeded is the quota-exhausted error: the requested growth would
 // push the count past the cell's limit.
@@ -57,8 +62,16 @@ type Manager struct {
 	meter *hw.CostMeter
 
 	mu    sync.Mutex
+	sink  trace.Sink
 	cells map[CellName]*cell
 	slots []bool // slot occupancy in the core-segment table
+}
+
+// SetTrace routes quota-check events to s (nil turns tracing off).
+func (m *Manager) SetTrace(s trace.Sink) {
+	m.mu.Lock()
+	m.sink = s
+	m.mu.Unlock()
 }
 
 // NewManager returns a quota cell manager whose cache lives in the
@@ -210,6 +223,12 @@ func (m *Manager) Charge(name CellName, n int) error {
 		return ErrNotActive
 	}
 	m.meter.Add(hw.CycMemRef) // one table probe: the O(1) the redesign buys
+	if m.sink != nil {
+		m.sink.Emit(trace.Event{
+			Kind: trace.EvQuotaCheck, Module: ModuleName, Cost: hw.CycMemRef,
+			Arg0: int64(n), Arg1: int64(c.used), Arg2: int64(c.limit),
+		})
+	}
 	if c.used+n > c.limit {
 		return fmt.Errorf("%w: cell %v at %d/%d, requested %d", ErrExceeded, name, c.used, c.limit, n)
 	}

@@ -31,8 +31,14 @@ import (
 	"multics/internal/hw"
 	"multics/internal/knownseg"
 	"multics/internal/segment"
+	"multics/internal/trace"
 	"multics/internal/vproc"
 )
+
+// ModuleName is this manager's name in the kernel dependency graph;
+// trace events for process swaps and queue messages are attributed
+// to it.
+const ModuleName = "user-process-manager"
 
 // SchedulerModule is the kernel module name of the user-process
 // scheduler's dedicated virtual processor.
@@ -142,6 +148,16 @@ type Queue struct {
 	n      int
 	posted eventcount.Eventcount
 	meter  *hw.CostMeter
+	sink   trace.Sink
+}
+
+// SetTrace routes queue posts (and the posted eventcount's advances)
+// to s.
+func (q *Queue) SetTrace(s trace.Sink) {
+	q.mu.Lock()
+	q.sink = s
+	q.mu.Unlock()
+	q.posted.Trace(s, ModuleName)
 }
 
 // ErrQueueFull is returned when the fixed-size real-memory queue
@@ -187,6 +203,9 @@ func (q *Queue) Post(m Message) error {
 	}
 	q.n++
 	q.meter.Add(hw.CycIPC)
+	if q.sink != nil {
+		q.sink.Emit(trace.Event{Kind: trace.EvIPC, Module: ModuleName, Cost: hw.CycIPC, Arg0: int64(m.Kind), Arg1: int64(m.Process)})
+	}
 	q.posted.Advance()
 	return nil
 }
@@ -237,10 +256,22 @@ type Manager struct {
 	StateCell segment.CellRef
 
 	mu      sync.Mutex
+	sink    trace.Sink
 	nextPID uint64
 	procs   map[uint64]*Process
 	ready   []uint64
 	swaps   int64
+}
+
+// SetTrace routes process-swap events (and the real-memory queue's
+// posts) to s.
+func (m *Manager) SetTrace(s trace.Sink) {
+	m.mu.Lock()
+	m.sink = s
+	m.mu.Unlock()
+	if m.queue != nil {
+		m.queue.SetTrace(s)
+	}
 }
 
 // NewManager returns a user process manager multiplexing vps and
@@ -377,6 +408,10 @@ func (m *Manager) Dispatch() (*Process, error) {
 	}
 	m.meter.Add(hw.CycProcessSwap)
 	m.mu.Lock()
+	if m.sink != nil {
+		// Arg1 = 0: a state load through the virtual memory.
+		m.sink.Emit(trace.Event{Kind: trace.EvProcessSwap, Module: ModuleName, Cost: hw.CycProcessSwap, Arg0: int64(p.id)})
+	}
 	p.state = Running
 	p.vp = vp
 	m.mu.Unlock()
@@ -416,6 +451,12 @@ func (m *Manager) unbind(p *Process, to State) error {
 		return err
 	}
 	m.meter.Add(hw.CycProcessSwap)
+	m.mu.Lock()
+	if m.sink != nil {
+		// Arg1 = 1: a state store through the virtual memory.
+		m.sink.Emit(trace.Event{Kind: trace.EvProcessSwap, Module: ModuleName, Cost: hw.CycProcessSwap, Arg0: int64(p.id), Arg1: 1})
+	}
+	m.mu.Unlock()
 	return m.vps.ReleaseUser(vp)
 }
 

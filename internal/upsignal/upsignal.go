@@ -17,6 +17,8 @@ package upsignal
 import (
 	"fmt"
 	"sync"
+
+	"multics/internal/trace"
 )
 
 // A Signal is one upward transfer: the target module's name and the
@@ -41,11 +43,21 @@ type Dispatcher struct {
 	dispatching bool
 	raised      int64
 	handled     int64
+	sink        trace.Sink
 }
 
 // NewDispatcher returns an empty dispatcher.
 func NewDispatcher() *Dispatcher {
 	return &Dispatcher{handlers: make(map[string]Handler)}
+}
+
+// SetTrace routes raise and handle events to s, each attributed to
+// the signal's target module (targets are dependency-graph module
+// names). A nil s turns tracing off.
+func (d *Dispatcher) SetTrace(s trace.Sink) {
+	d.mu.Lock()
+	d.sink = s
+	d.mu.Unlock()
 }
 
 // Register installs the handler for a target module. A module
@@ -74,6 +86,9 @@ func (d *Dispatcher) Raise(sig Signal) error {
 	}
 	d.pending = append(d.pending, sig)
 	d.raised++
+	if d.sink != nil {
+		d.sink.Emit(trace.Event{Kind: trace.EvSignalRaise, Module: sig.Target, Arg0: int64(len(d.pending))})
+	}
 	return nil
 }
 
@@ -130,6 +145,9 @@ func (d *Dispatcher) Dispatch() (int, error) {
 		}
 		d.mu.Lock()
 		d.handled++
+		if d.sink != nil {
+			d.sink.Emit(trace.Event{Kind: trace.EvSignalHandle, Module: sig.Target, Arg0: d.handled})
+		}
 		d.mu.Unlock()
 		n++
 	}

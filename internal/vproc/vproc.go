@@ -27,7 +27,13 @@ import (
 	"multics/internal/coreseg"
 	"multics/internal/eventcount"
 	"multics/internal/hw"
+	"multics/internal/trace"
 )
+
+// ModuleName is this manager's name in the kernel dependency graph;
+// trace events for dispatches and queue messages are attributed to
+// it.
+const ModuleName = "virtual-processor-manager"
 
 // StateWords is the size of one virtual processor's state block in
 // the state core segment.
@@ -92,9 +98,18 @@ type Manager struct {
 	states *coreseg.Segment
 	meter  *hw.CostMeter
 	procs  []*hw.Processor
+	sink   trace.Sink
 	// dispatches counts work items run, for the performance
 	// comparisons.
 	dispatches int64
+}
+
+// SetTrace routes dispatch and queue-message events to s (nil turns
+// tracing off).
+func (m *Manager) SetTrace(s trace.Sink) {
+	m.mu.Lock()
+	m.sink = s
+	m.mu.Unlock()
 }
 
 // NewManager creates n virtual processors whose state blocks live in
@@ -173,6 +188,9 @@ func (m *Manager) Enqueue(module string, work func()) error {
 		return fmt.Errorf("vproc: no virtual processor bound to module %s", module)
 	}
 	m.meter.Add(hw.CycIPC)
+	if m.sink != nil {
+		m.sink.Emit(trace.Event{Kind: trace.EvIPC, Module: ModuleName, Cost: hw.CycIPC, Arg0: int64(v.id)})
+	}
 	v.queue = append(v.queue, work)
 	return m.saveState(v)
 }
@@ -210,6 +228,9 @@ func (m *Manager) RunPending() int {
 		if owner != nil {
 			m.meter.Add(hw.CycDispatch)
 			m.dispatches++
+			if m.sink != nil {
+				m.sink.Emit(trace.Event{Kind: trace.EvDispatch, Module: ModuleName, Cost: hw.CycDispatch, Arg0: int64(owner.id)})
+			}
 			_ = m.saveState(owner)
 		}
 		m.mu.Unlock()
@@ -238,6 +259,9 @@ func (m *Manager) AcquireUser(user uint64) (*VP, error) {
 			v.binding = UserBound
 			v.user = user
 			m.meter.Add(hw.CycDispatch)
+			if m.sink != nil {
+				m.sink.Emit(trace.Event{Kind: trace.EvDispatch, Module: ModuleName, Cost: hw.CycDispatch, Arg0: int64(v.id), Arg1: int64(user)})
+			}
 			return v, m.saveState(v)
 		}
 	}

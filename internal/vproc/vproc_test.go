@@ -125,7 +125,7 @@ func TestEnqueueRunPending(t *testing.T) {
 	if m.Pending() != 2 {
 		t.Errorf("Pending = %d", m.Pending())
 	}
-	before := meter.Cycles()
+	before := meter.Snapshot()
 	ran := m.RunPending()
 	if ran != 2 {
 		t.Errorf("RunPending = %d", ran)
@@ -136,7 +136,7 @@ func TestEnqueueRunPending(t *testing.T) {
 	if m.Pending() != 0 {
 		t.Errorf("Pending after run = %d", m.Pending())
 	}
-	if got := meter.Cycles() - before; got < 2*hw.CycDispatch {
+	if got := meter.Since(before); got < 2*hw.CycDispatch {
 		t.Errorf("dispatch cost %d, want >= %d", got, 2*hw.CycDispatch)
 	}
 	if m.Dispatches() != 2 {

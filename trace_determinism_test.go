@@ -1,0 +1,161 @@
+// Determinism of the meters: two kernels booted with the same
+// configuration and driven through the same workload must produce
+// byte-identical event streams and identical snapshots. This is the
+// property that makes the trace usable as evidence — a cycle
+// attribution that varied from run to run could not support the
+// paper-style performance arguments, and a diff of two traces could
+// not localize a behavior change.
+package multics
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"multics/internal/directory"
+	"multics/internal/hw"
+	"multics/internal/trace"
+	"multics/internal/uproc"
+)
+
+// traceWorkloads drive every instrumented subsystem, single-CPU and
+// single-goroutine so the event order is fully determined.
+var traceWorkloads = []struct {
+	name string
+	cfg  func(*Config)
+	run  func(t *testing.T, k *Kernel)
+}{
+	{
+		name: "fault-storm",
+		cfg:  func(c *Config) { c.MemFrames = 24; c.WiredFrames = 8 },
+		run: func(t *testing.T, k *Kernel) {
+			cpu, p := traceProcess(t, k)
+			segno := traceFile(t, k, p, nil, "hot")
+			for i := 0; i < 24; i++ {
+				if err := k.Write(cpu, p, segno, i*hw.PageWords, hw.Word(i+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 100; i++ {
+				if _, err := k.Read(cpu, p, segno, (i%24)*hw.PageWords); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+	},
+	{
+		name: "directory-tree-walks",
+		run: func(t *testing.T, k *Kernel) {
+			cpu, p := traceProcess(t, k)
+			var path []string
+			for i := 0; i < 4; i++ {
+				name := fmt.Sprintf("d%d", i)
+				if _, err := k.CreateDir(cpu, p, path, name, directory.Public(hw.Read|hw.Write), Bottom); err != nil {
+					t.Fatal(err)
+				}
+				path = append(path, name)
+			}
+			traceFile(t, k, p, path, "leaf")
+			for i := 0; i < 20; i++ {
+				if _, err := k.WalkPath(cpu, p, append(append([]string{}, path...), "leaf")); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+	},
+	{
+		name: "scheduler-quanta",
+		run: func(t *testing.T, k *Kernel) {
+			for i := 0; i < 4; i++ {
+				if _, err := k.CreateProcess(fmt.Sprintf("u%d.x", i), Bottom); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := k.Procs.RunQuantum(30, func(*uproc.Process) {}); err != nil {
+				t.Fatal(err)
+			}
+		},
+	},
+	{
+		name: "quota-growth-truncate",
+		run: func(t *testing.T, k *Kernel) {
+			cpu, p := traceProcess(t, k)
+			segno := traceFile(t, k, p, nil, "grow")
+			for i := 0; i < 30; i++ {
+				if err := k.Write(cpu, p, segno, i*hw.PageWords, hw.Word(i+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := k.Truncate(cpu, p, segno, 4); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				if err := k.Write(cpu, p, segno, i*hw.PageWords, hw.Word(i+100)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+	},
+}
+
+func traceProcess(t *testing.T, k *Kernel) (*hw.Processor, *uproc.Process) {
+	t.Helper()
+	p, err := k.CreateProcess("det.x", Bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := k.CPUs[0]
+	k.Attach(cpu, p)
+	return cpu, p
+}
+
+func traceFile(t *testing.T, k *Kernel, p *uproc.Process, dir []string, name string) int {
+	t.Helper()
+	cpu := k.CPUs[0]
+	if _, err := k.CreateFile(cpu, p, dir, name, nil, Bottom); err != nil {
+		t.Fatal(err)
+	}
+	segno, err := k.OpenPath(cpu, p, append(append([]string{}, dir...), name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return segno
+}
+
+// TestTraceDeterminism boots each workload twice from identical
+// configurations and requires byte-identical event streams and deeply
+// equal snapshots.
+func TestTraceDeterminism(t *testing.T) {
+	for _, w := range traceWorkloads {
+		t.Run(w.name, func(t *testing.T) {
+			runOnce := func() (string, trace.Snapshot) {
+				cfg := DefaultConfig()
+				cfg.RootQuota = 10000
+				cfg.TraceEvents = 1 << 14
+				if w.cfg != nil {
+					w.cfg(&cfg)
+				}
+				k, err := Boot(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w.run(t, k)
+				if unknown := k.Trace.Unknown(); len(unknown) > 0 {
+					t.Errorf("events from modules outside the dependency graph: %v", unknown)
+				}
+				return trace.FormatEvents(k.Trace.Events()), k.Trace.Snapshot()
+			}
+			events1, snap1 := runOnce()
+			events2, snap2 := runOnce()
+			if events1 == "" {
+				t.Fatal("workload emitted no events")
+			}
+			if events1 != events2 {
+				t.Errorf("event streams differ between identical runs:\nrun1:\n%srun2:\n%s", events1, events2)
+			}
+			if !reflect.DeepEqual(snap1, snap2) {
+				t.Errorf("snapshots differ between identical runs:\nrun1:\n%srun2:\n%s", snap1.PromText(), snap2.PromText())
+			}
+		})
+	}
+}
