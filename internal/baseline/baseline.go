@@ -223,8 +223,10 @@ func BootBaseline(cfg Config) (*Supervisor, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The baseline keeps quota in directory entries, not in the pack
+	// tables of contents, so no governing uid is recorded (zero).
 	uid := s.newUID()
-	idx, err := rootPack.CreateEntry(uid, true)
+	idx, err := rootPack.CreateEntry(uid, true, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -365,7 +367,7 @@ func (s *Supervisor) Create(principal, path string, isDir bool) error {
 		return err
 	}
 	uid := s.newUID()
-	idx, err := pack.CreateEntry(uid, isDir)
+	idx, err := pack.CreateEntry(uid, isDir, 0)
 	if err != nil {
 		return err
 	}

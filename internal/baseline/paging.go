@@ -466,7 +466,7 @@ func (s *Supervisor) relocate(a *aste) error {
 	if err != nil {
 		return err
 	}
-	newIdx, err := newPack.CreateEntry(a.uid, a.ent.isDir)
+	newIdx, err := newPack.CreateEntry(a.uid, a.ent.isDir, te.Gov)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"multics/internal/disk"
 	"multics/internal/pageframe"
 	"multics/internal/quota"
+	"multics/internal/salvage"
 	"multics/internal/uproc"
 	"multics/internal/vproc"
 )
@@ -22,6 +23,7 @@ const (
 	ModKnownSeg = "known-segment-manager"
 	ModDir      = "directory-manager"
 	ModUProc    = uproc.ModuleName
+	ModSalvage  = salvage.ModuleName
 )
 
 // BuildGraph constructs the dependency structure of the redesigned
@@ -39,12 +41,13 @@ func BuildGraph() *deps.Graph {
 	g.AddModule(ModKnownSeg, "per-process segment number bindings; quota exception entry")
 	g.AddModule(ModDir, "naming hierarchy, ACLs, labels, quota designation")
 	g.AddModule(ModUProc, "arbitrary user processes multiplexed onto virtual processors")
+	g.AddModule(ModSalvage, "boot-time repair of tables of contents, free lists and quota cells")
 
 	// The two blanket rules the paper states for Figure 4: every
 	// module except the core segment manager depends on the virtual
 	// processor manager (interpreter) and on the core segment
 	// manager (address space).
-	for _, mod := range []string{ModDisk, ModFrame, ModQuota, ModSegment, ModKnownSeg, ModDir, ModUProc} {
+	for _, mod := range []string{ModDisk, ModFrame, ModQuota, ModSegment, ModKnownSeg, ModDir, ModUProc, ModSalvage} {
 		g.MustDepend(mod, ModVProc, deps.Interpreter, "executes on a virtual processor")
 		g.MustDepend(mod, ModCoreSeg, deps.AddressSpace, "system address space defined by a core-segment translation table")
 	}
@@ -73,6 +76,8 @@ func BuildGraph() *deps.Graph {
 	g.MustDepend(ModUProc, ModSegment, deps.Component, "user process states are stored in segments")
 	g.MustDepend(ModUProc, ModKnownSeg, deps.Component, "each process carries a known segment table")
 	g.MustDepend(ModUProc, ModCoreSeg, deps.Map, "the real-memory message queue lives in a core segment")
+
+	g.MustDepend(ModSalvage, ModDisk, deps.Component, "salvage reads and repairs tables of contents and free lists")
 
 	return g
 }

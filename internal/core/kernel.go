@@ -27,6 +27,7 @@ import (
 	"multics/internal/knownseg"
 	"multics/internal/pageframe"
 	"multics/internal/quota"
+	"multics/internal/salvage"
 	"multics/internal/segment"
 	"multics/internal/trace"
 	"multics/internal/uproc"
@@ -55,8 +56,15 @@ type Config struct {
 	VProcs int
 	// Processors is the number of simulated CPUs.
 	Processors int
-	// Packs are mounted at boot; the first holds the root.
+	// Packs are created and mounted at boot; the first holds the
+	// root. May be empty if Mount supplies the packs instead.
 	Packs []PackSpec
+	// Mount lists existing packs — demounted from a previous
+	// incarnation, possibly after a crash — to mount at boot. Any
+	// that are marked dirty are salvaged before the kernel uses
+	// them. When Packs is empty the first mounted pack holds the
+	// root.
+	Mount []*disk.Pack
 	// RootQuota is the root directory's quota cell limit, in pages.
 	RootQuota int
 	// Daemons selects the multi-process memory manager (the
@@ -103,6 +111,10 @@ type Kernel struct {
 	CPUs     []*hw.Processor
 	// Trace is the kernel event recorder, nil until StartTrace.
 	Trace *trace.Recorder
+	// Salvage is the boot-time salvager's report: what the volume
+	// salvager repaired on packs that were mounted dirty. Clean when
+	// no pack needed repair.
+	Salvage salvage.Report
 
 	cfg Config
 	// restores counts processes resumed after relocation notices.
@@ -114,7 +126,7 @@ func Boot(cfg Config) (*Kernel, error) {
 	if cfg.MemFrames <= cfg.WiredFrames {
 		return nil, fmt.Errorf("core: %d frames with %d wired leaves no pageable memory", cfg.MemFrames, cfg.WiredFrames)
 	}
-	if len(cfg.Packs) == 0 {
+	if len(cfg.Packs) == 0 && len(cfg.Mount) == 0 {
 		return nil, errors.New("core: no disk packs configured")
 	}
 	if cfg.Processors <= 0 {
@@ -122,6 +134,21 @@ func Boot(cfg Config) (*Kernel, error) {
 	}
 	k := &Kernel{Meter: &hw.CostMeter{}, cfg: cfg}
 	k.Mem = hw.NewMemory(cfg.MemFrames)
+
+	// The structure check: the kernel refuses to boot on a
+	// dependency loop or an undisciplined dependency. Verified
+	// before anything runs so that even the boot-time salvager
+	// works under a certified structure.
+	k.Graph = BuildGraph()
+	if err := k.Graph.Verify(); err != nil {
+		return nil, fmt.Errorf("core: kernel structure rejected: %w", err)
+	}
+	if cfg.TraceEvents > 0 {
+		// The recorder exists before the disk level boots so that
+		// salvage repairs are on the record.
+		k.Trace = trace.NewRecorder(cfg.TraceEvents, k.Meter)
+		k.Trace.Register(k.Graph.Modules()...)
+	}
 
 	// Level 0: core segments, fixed at initialization.
 	cm, err := coreseg.NewManager(k.Mem, cfg.WiredFrames, k.Meter)
@@ -164,6 +191,17 @@ func Boot(cfg Config) (*Kernel, error) {
 			return nil, err
 		}
 	}
+	for _, p := range cfg.Mount {
+		if err := k.Vols.Mount(p); err != nil {
+			return nil, err
+		}
+	}
+	// Any pack mounted dirty was in use when its previous system
+	// stopped: salvage before higher levels see it.
+	k.Salvage, err = salvage.Run(k.Vols, k.Trace, false)
+	if err != nil {
+		return nil, fmt.Errorf("core: boot-time salvage: %w", err)
+	}
 	k.Frames, err = pageframe.NewManager(k.Mem, cm.FirstPageableFrame(), k.VProcs, k.Meter)
 	if err != nil {
 		return nil, err
@@ -179,10 +217,16 @@ func Boot(cfg Config) (*Kernel, error) {
 	}
 
 	// The naming and process levels.
+	rootPack := ""
+	if len(cfg.Packs) > 0 {
+		rootPack = cfg.Packs[0].ID
+	} else {
+		rootPack = cfg.Mount[0].ID()
+	}
 	k.Signals = upsignal.NewDispatcher()
 	k.KSM = knownseg.NewManager(k.Segs, k.Signals, k.Meter)
 	k.Dirs, err = directory.NewManager(k.Segs, k.KSM, k.Cells, k.Signals, k.Meter, directory.Config{
-		RootPack:  cfg.Packs[0].ID,
+		RootPack:  rootPack,
 		RootQuota: cfg.RootQuota,
 		Seed:      cfg.Seed,
 	})
@@ -200,12 +244,12 @@ func Boot(cfg Config) (*Kernel, error) {
 		return nil, err
 	}
 	k.Procs = uproc.NewManager(k.VProcs, k.Segs, k.KSM, k.Queue, k.Meter)
-	k.Procs.StatePack = cfg.Packs[0].ID
+	k.Procs.StatePack = rootPack
 	rootEntry, err := k.Dirs.Status("initializer.sys", aim.Top, k.Dirs.RootID())
 	if err != nil {
 		return nil, err
 	}
-	k.Procs.StateCell = segment.CellRef{Cell: rootEntry.Addr, Has: true}
+	k.Procs.StateCell = segment.CellRef{Cell: rootEntry.Addr, UID: rootEntry.UID, Has: true}
 
 	// Processors, with the kernel design's two hardware additions.
 	sysDT := hw.NewDescriptorTable(k.Procs.KSTBase)
@@ -231,16 +275,9 @@ func Boot(cfg Config) (*Kernel, error) {
 		k.CPUs = append(k.CPUs, cpu)
 	}
 
-	// The structure check: the kernel refuses to boot on a
-	// dependency loop or an undisciplined dependency.
-	k.Graph = BuildGraph()
-	if err := k.Graph.Verify(); err != nil {
-		return nil, fmt.Errorf("core: kernel structure rejected: %w", err)
-	}
-
 	cm.Seal()
-	if cfg.TraceEvents > 0 {
-		k.StartTrace(cfg.TraceEvents)
+	if k.Trace != nil {
+		k.wireTrace(k.Trace)
 	}
 	return k, nil
 }
@@ -255,6 +292,13 @@ func Boot(cfg Config) (*Kernel, error) {
 func (k *Kernel) StartTrace(capacity int) *trace.Recorder {
 	rec := trace.NewRecorder(capacity, k.Meter)
 	rec.Register(k.Graph.Modules()...)
+	k.wireTrace(rec)
+	return rec
+}
+
+// wireTrace threads an existing recorder through the hardware and
+// every instrumented manager and keeps it as k.Trace.
+func (k *Kernel) wireTrace(rec *trace.Recorder) {
 	// Each fault kind is charged to the module that services it.
 	// Access, bounds and gate violations have no kernel service —
 	// they are returned to the process that erred — so they are
@@ -279,7 +323,6 @@ func (k *Kernel) StartTrace(capacity int) *trace.Recorder {
 	k.Procs.SetTrace(rec)
 	k.Signals.SetTrace(rec)
 	k.Trace = rec
-	return rec
 }
 
 // Restores reports how many relocation notices resumed a process.

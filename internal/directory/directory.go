@@ -104,6 +104,11 @@ type dirNode struct {
 	nodes    map[string]*dirNode // child directories
 	quotaDir bool
 	cell     quota.CellName // governing cell for objects beneath
+	// cellUID is the unique identifier of the quota directory owning
+	// cell. Unlike the cell's disk address it survives relocation, so
+	// it is what gets recorded on disk (TOCEntry.Gov) for the volume
+	// salvager's quota recount.
+	cellUID uint64
 }
 
 // A Manager is the directory manager.
@@ -164,7 +169,9 @@ func NewManager(segs *segment.Manager, ksm *knownseg.Manager, cells *quota.Manag
 		byUID:    make(map[uint64]*Entry),
 	}
 	uid := segs.NewUID()
-	addr, err := segs.Create(cfg.RootPack, uid, true)
+	// The root is its own quota directory, so its pages govern
+	// themselves: gov is its own uid.
+	addr, err := segs.Create(cfg.RootPack, uid, true, uid)
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +191,7 @@ func NewManager(segs *segment.Manager, ksm *knownseg.Manager, cells *quota.Manag
 		nodes:    make(map[string]*dirNode),
 		quotaDir: true,
 		cell:     addr,
+		cellUID:  uid,
 	}
 	m.rootID = rootEntry.ID
 	m.byID[rootEntry.ID] = rootEntry
@@ -361,6 +369,7 @@ func (m *Manager) Create(p Principal, plabel aim.Label, dirID Identifier, name s
 	dirUID := node.entry.UID
 	dirPack := node.entry.Addr.Pack
 	inheritCell := node.cell
+	inheritCellUID := node.cellUID
 	nEntries := len(node.children) + 1
 	m.mu.Unlock()
 
@@ -376,7 +385,7 @@ func (m *Manager) Create(p Principal, plabel aim.Label, dirID Identifier, name s
 	}
 
 	uid := m.segs.NewUID()
-	addr, err := m.segs.Create(dirPack, uid, isDir)
+	addr, err := m.segs.Create(dirPack, uid, isDir, inheritCellUID)
 	if err != nil {
 		return 0, err
 	}
@@ -406,6 +415,7 @@ func (m *Manager) Create(p Principal, plabel aim.Label, dirID Identifier, name s
 			children: make(map[string]*Entry),
 			nodes:    make(map[string]*dirNode),
 			cell:     node.cell, // inherit until designated
+			cellUID:  node.cellUID,
 		}
 	}
 	// Mark the entry's slot in the directory segment so the page is
@@ -687,9 +697,15 @@ func (m *Manager) DesignateQuota(p Principal, plabel aim.Label, id Identifier, l
 			return err
 		}
 	}
+	// The directory's own pages now charge its own cell; record the
+	// new governing uid on disk so a salvage recount agrees.
+	if err := m.segs.SetGov(addr, uid); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	node.quotaDir = true
 	node.cell = addr
+	node.cellUID = uid
 	m.mu.Unlock()
 	return nil
 }
@@ -723,6 +739,7 @@ func (m *Manager) UndesignateQuota(p Principal, plabel aim.Label, id Identifier)
 		return fmt.Errorf("directory: %s is not a quota directory", entry.Name)
 	}
 	parentCell := parent.cell
+	parentCellUID := parent.cellUID
 	addr := entry.Addr
 	uid := entry.UID
 	m.mu.Unlock()
@@ -754,9 +771,15 @@ func (m *Manager) UndesignateQuota(p Principal, plabel aim.Label, id Identifier)
 	if _, err := m.segs.Activate(uid, addr, parentCell, true); err != nil {
 		return err
 	}
+	// The directory's pages charge the containing directory's cell
+	// again; rebind the on-disk governing uid to match.
+	if err := m.segs.SetGov(addr, parentCellUID); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	node.quotaDir = false
 	node.cell = parentCell
+	node.cellUID = parentCellUID
 	m.mu.Unlock()
 	return nil
 }

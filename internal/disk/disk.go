@@ -100,6 +100,15 @@ type TOCEntry struct {
 	UID uint64
 	// Dir records that the segment holds a directory.
 	Dir bool
+	// Gov is the unique identifier of the quota directory whose cell
+	// this segment's pages are charged to (zero for segments that
+	// never grow). Because quota cells are statically bound, the
+	// binding can be recorded here at creation — which is what lets
+	// the volume salvager recompute every cell's used-count from the
+	// file maps alone after a crash. Naming the governing cell by
+	// segment UID rather than disk address keeps the binding valid
+	// across relocations.
+	Gov uint64
 	// Map is the file map, one entry per page.
 	Map []FileMapEntry
 	// Quota is the quota cell, meaningful only for quota
@@ -129,12 +138,14 @@ type Pack struct {
 
 	mu      sync.Mutex
 	mounted bool
+	dirty   bool
 	used    int
 	free    []RecordAddr
 	data    map[RecordAddr][]hw.Word
 	toc     []TOCEntry
 	meter   *hw.CostMeter
 	sink    trace.Sink
+	faults  *FaultPlan
 }
 
 // SetTrace routes this pack's record transfers to s (nil turns
@@ -143,6 +154,48 @@ func (p *Pack) SetTrace(s trace.Sink) {
 	p.mu.Lock()
 	p.sink = s
 	p.mu.Unlock()
+}
+
+// SetFaultPlan installs a fault plan on this pack (nil removes it —
+// the reboot path, where the new machine sees the old packs but not
+// the old failure schedule).
+func (p *Pack) SetFaultPlan(f *FaultPlan) {
+	p.mu.Lock()
+	p.faults = f
+	p.mu.Unlock()
+}
+
+// Dirty reports whether the pack has seen a mutation since it was
+// last salvaged (or created). A pack that is dirty when mounted at
+// boot was not shut down cleanly and must be salvaged before use.
+func (p *Pack) Dirty() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dirty
+}
+
+// MarkClean clears the dirty flag; the volume salvager calls it after
+// a successful repair pass.
+func (p *Pack) MarkClean() {
+	p.mu.Lock()
+	p.dirty = false
+	p.mu.Unlock()
+}
+
+// noteInjected emits a trace event for an injected fault; called with
+// p.mu held.
+func (p *Pack) noteInjected(op int64, err error) {
+	if p.sink == nil {
+		return
+	}
+	var class int64
+	switch {
+	case errors.Is(err, ErrCrashed):
+		class = 2
+	case errors.Is(err, ErrPermanent):
+		class = 1
+	}
+	p.sink.Emit(trace.Event{Kind: trace.EvFaultInjected, Module: ModuleName, Arg0: op, Arg1: class})
 }
 
 // NewPack returns a mounted pack with the given identifier and record
@@ -199,9 +252,14 @@ func (p *Pack) AllocRecord() (RecordAddr, error) {
 	if err := p.checkMounted(); err != nil {
 		return 0, err
 	}
+	if err := p.faults.checkOp(OpAlloc, p.id, true); err != nil {
+		p.noteInjected(int64(OpAlloc), err)
+		return 0, err
+	}
 	if len(p.free) == 0 {
 		return 0, ErrPackFull
 	}
+	p.dirty = true
 	r := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]
 	p.used++
@@ -219,10 +277,47 @@ func (p *Pack) FreeRecord(r RecordAddr) error {
 	if r < 0 || int(r) >= p.capacity {
 		return fmt.Errorf("disk: record %d outside pack %s of %d records", r, p.id, p.capacity)
 	}
+	if err := p.faults.checkMutation(p.id); err != nil {
+		p.noteInjected(-1, err)
+		return err
+	}
+	p.dirty = true
 	delete(p.data, r)
 	p.free = append(p.free, r)
 	p.used--
 	return nil
+}
+
+// ClaimRecord removes the specific record r from the free list,
+// allocating it in place. The volume salvager uses it to honour a
+// file-map claim on a record that an interrupted operation left free;
+// it is an error if r is not free.
+func (p *Pack) ClaimRecord(r RecordAddr) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkMounted(); err != nil {
+		return err
+	}
+	if r < 0 || int(r) >= p.capacity {
+		return fmt.Errorf("disk: record %d outside pack %s of %d records", r, p.id, p.capacity)
+	}
+	for i, f := range p.free {
+		if f == r {
+			p.dirty = true
+			p.free = append(p.free[:i], p.free[i+1:]...)
+			p.used++
+			return nil
+		}
+	}
+	return fmt.Errorf("disk: record %d on pack %s is not free", r, p.id)
+}
+
+// FreeRecordList returns a copy of the free list; the volume salvager
+// diffs it against the file-map claims.
+func (p *Pack) FreeRecordList() []RecordAddr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]RecordAddr(nil), p.free...)
 }
 
 // ReadRecord copies record r into dst (PageWords words). Reading a
@@ -238,6 +333,10 @@ func (p *Pack) ReadRecord(r RecordAddr, dst []hw.Word) error {
 	}
 	if r < 0 || int(r) >= p.capacity {
 		return fmt.Errorf("disk: record %d outside pack %s", r, p.id)
+	}
+	if err := p.faults.checkOp(OpRead, p.id, false); err != nil {
+		p.noteInjected(int64(OpRead), err)
+		return err
 	}
 	p.meter.Add(hw.CycDiskSeek + hw.CycDiskRecord)
 	if p.sink != nil {
@@ -264,6 +363,11 @@ func (p *Pack) WriteRecord(r RecordAddr, src []hw.Word) error {
 	if r < 0 || int(r) >= p.capacity {
 		return fmt.Errorf("disk: record %d outside pack %s", r, p.id)
 	}
+	if err := p.faults.checkOp(OpWrite, p.id, true); err != nil {
+		p.noteInjected(int64(OpWrite), err)
+		return err
+	}
+	p.dirty = true
 	p.meter.Add(hw.CycDiskSeek + hw.CycDiskRecord)
 	if p.sink != nil {
 		p.sink.Emit(trace.Event{Kind: trace.EvDiskWrite, Module: ModuleName, Cost: hw.CycDiskSeek + hw.CycDiskRecord, Arg0: int64(r)})
@@ -278,20 +382,28 @@ func (p *Pack) WriteRecord(r RecordAddr, src []hw.Word) error {
 }
 
 // CreateEntry allocates a table-of-contents entry for a new segment
-// with the given unique identifier.
-func (p *Pack) CreateEntry(uid uint64, dir bool) (TOCIndex, error) {
+// with the given unique identifier. gov names, by unique identifier,
+// the quota directory whose cell the segment's pages will charge
+// (zero for a segment that never grows); recording it here is what
+// keeps used-counts recomputable by the volume salvager.
+func (p *Pack) CreateEntry(uid uint64, dir bool, gov uint64) (TOCIndex, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err := p.checkMounted(); err != nil {
 		return 0, err
 	}
+	if err := p.faults.checkMutation(p.id); err != nil {
+		p.noteInjected(-1, err)
+		return 0, err
+	}
+	p.dirty = true
 	for i := range p.toc {
 		if !p.toc[i].live {
-			p.toc[i] = TOCEntry{UID: uid, Dir: dir, live: true}
+			p.toc[i] = TOCEntry{UID: uid, Dir: dir, Gov: gov, live: true}
 			return TOCIndex(i), nil
 		}
 	}
-	p.toc = append(p.toc, TOCEntry{UID: uid, Dir: dir, live: true})
+	p.toc = append(p.toc, TOCEntry{UID: uid, Dir: dir, Gov: gov, live: true})
 	return TOCIndex(len(p.toc) - 1), nil
 }
 
@@ -304,6 +416,11 @@ func (p *Pack) DeleteEntry(idx TOCIndex) error {
 	if err != nil {
 		return err
 	}
+	if err := p.faults.checkMutation(p.id); err != nil {
+		p.noteInjected(-1, err)
+		return err
+	}
+	p.dirty = true
 	for _, m := range e.Map {
 		if m.State == PageStored {
 			delete(p.data, m.Record)
@@ -311,6 +428,28 @@ func (p *Pack) DeleteEntry(idx TOCIndex) error {
 			p.used--
 		}
 	}
+	*e = TOCEntry{}
+	return nil
+}
+
+// DropEntry clears a table-of-contents entry without freeing the
+// records its file map names. The volume salvager uses it to discard
+// the losing copy of a duplicated entry: any records only that copy
+// claimed become orphans, which the salvager's orphan scan then frees
+// — freeing them here could double-free a record the surviving copy
+// also claims.
+func (p *Pack) DropEntry(idx TOCIndex) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, err := p.entry(idx)
+	if err != nil {
+		return err
+	}
+	if err := p.faults.checkMutation(p.id); err != nil {
+		p.noteInjected(-1, err)
+		return err
+	}
+	p.dirty = true
 	*e = TOCEntry{}
 	return nil
 }
@@ -345,6 +484,11 @@ func (p *Pack) UpdateEntry(idx TOCIndex, fn func(*TOCEntry) error) error {
 	if err != nil {
 		return err
 	}
+	if err := p.faults.checkMutation(p.id); err != nil {
+		p.noteInjected(-1, err)
+		return err
+	}
+	p.dirty = true
 	return fn(e)
 }
 
@@ -380,10 +524,11 @@ func (p *Pack) Entries() int {
 // Volumes is the disk volume control module: the registry of mounted
 // packs. It is the lowest module of the file system proper.
 type Volumes struct {
-	mu    sync.Mutex
-	packs map[string]*Pack
-	meter *hw.CostMeter
-	sink  trace.Sink
+	mu     sync.Mutex
+	packs  map[string]*Pack
+	meter  *hw.CostMeter
+	sink   trace.Sink
+	faults *FaultPlan
 }
 
 // SetTrace routes record transfers on every pack — mounted now or
@@ -401,6 +546,22 @@ func (v *Volumes) SetTrace(s trace.Sink) {
 	}
 }
 
+// SetFaultPlan installs a fault plan on every pack — mounted now or
+// added later — so the plan's step counters order all disk activity.
+// Nil removes the plan: the reboot path.
+func (v *Volumes) SetFaultPlan(f *FaultPlan) {
+	v.mu.Lock()
+	v.faults = f
+	packs := make([]*Pack, 0, len(v.packs))
+	for _, p := range v.packs {
+		packs = append(packs, p)
+	}
+	v.mu.Unlock()
+	for _, p := range packs {
+		p.SetFaultPlan(f)
+	}
+}
+
 // NewVolumes returns an empty volume registry.
 func NewVolumes(meter *hw.CostMeter) *Volumes {
 	return &Volumes{packs: make(map[string]*Pack), meter: meter}
@@ -415,6 +576,7 @@ func (v *Volumes) AddPack(id string, capacity int) (*Pack, error) {
 	}
 	p := NewPack(id, capacity, v.meter)
 	p.SetTrace(v.sink)
+	p.SetFaultPlan(v.faults)
 	v.packs[id] = p
 	return p, nil
 }
@@ -442,6 +604,7 @@ func (v *Volumes) Mount(p *Pack) error {
 	p.mu.Lock()
 	p.mounted = true
 	p.sink = v.sink
+	p.faults = v.faults
 	p.mu.Unlock()
 	v.packs[p.ID()] = p
 	return nil

@@ -101,7 +101,7 @@ func TestRecordIO(t *testing.T) {
 
 func TestTOCEntryLifecycle(t *testing.T) {
 	p := NewPack("dska", 8, nil)
-	idx, err := p.CreateEntry(100, false)
+	idx, err := p.CreateEntry(100, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,12 +160,12 @@ func TestTOCEntryLifecycle(t *testing.T) {
 
 func TestTOCSlotReuse(t *testing.T) {
 	p := NewPack("dska", 2, nil)
-	a, _ := p.CreateEntry(1, false)
-	b, _ := p.CreateEntry(2, true)
+	a, _ := p.CreateEntry(1, false, 0)
+	b, _ := p.CreateEntry(2, true, 2)
 	if err := p.DeleteEntry(a); err != nil {
 		t.Fatal(err)
 	}
-	c, err := p.CreateEntry(3, false)
+	c, err := p.CreateEntry(3, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestTOCSlotReuse(t *testing.T) {
 
 func TestQuotaCellStorage(t *testing.T) {
 	p := NewPack("dska", 2, nil)
-	idx, _ := p.CreateEntry(7, true)
+	idx, _ := p.CreateEntry(7, true, 7)
 	err := p.UpdateEntry(idx, func(e *TOCEntry) error {
 		e.Quota = QuotaCell{Valid: true, Limit: 50, Used: 3}
 		return nil
@@ -274,7 +274,7 @@ func TestDemountStopsTransfers(t *testing.T) {
 	if _, err := p.AllocRecord(); err == nil {
 		t.Error("alloc on demounted pack succeeded")
 	}
-	if _, err := p.CreateEntry(1, false); err == nil {
+	if _, err := p.CreateEntry(1, false, 0); err == nil {
 		t.Error("CreateEntry on demounted pack succeeded")
 	}
 }
@@ -355,8 +355,8 @@ func TestEachEntryAndCapacity(t *testing.T) {
 	if p.Capacity() != 7 {
 		t.Errorf("Capacity = %d", p.Capacity())
 	}
-	a, _ := p.CreateEntry(1, false)
-	b, _ := p.CreateEntry(2, true)
+	a, _ := p.CreateEntry(1, false, 0)
+	b, _ := p.CreateEntry(2, true, 2)
 	if err := p.DeleteEntry(a); err != nil {
 		t.Fatal(err)
 	}
@@ -407,5 +407,36 @@ func TestDemountRemountPreservesData(t *testing.T) {
 	}
 	if buf[0] != 314 {
 		t.Errorf("remounted data = %d", buf[0])
+	}
+}
+
+func TestEmptiestTieBreakDeterministic(t *testing.T) {
+	// Equal free space on every pack: the winner must be the same on
+	// every call regardless of map iteration order — the first pack
+	// identifier in sorted order.
+	vols := NewVolumes(nil)
+	for _, id := range []string{"dskc", "dska", "dskb"} {
+		if _, err := vols.AddPack(id, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		p, err := vols.Emptiest("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ID() != "dska" {
+			t.Fatalf("call %d: Emptiest = %s, want dska", i, p.ID())
+		}
+	}
+	// Excluding the winner moves deterministically to the next.
+	for i := 0; i < 50; i++ {
+		p, err := vols.Emptiest("dska")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ID() != "dskb" {
+			t.Fatalf("call %d: Emptiest excluding dska = %s, want dskb", i, p.ID())
+		}
 	}
 }

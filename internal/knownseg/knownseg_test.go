@@ -67,7 +67,7 @@ func newFixture(t *testing.T, pageable, packA int) *fixture {
 
 	// A quota directory to govern everything.
 	dirUID := segs.NewUID()
-	cell, err := segs.Create("dska", dirUID, true)
+	cell, err := segs.Create("dska", dirUID, true, dirUID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func newFixture(t *testing.T, pageable, packA int) *fixture {
 func (f *fixture) newFile(t *testing.T) (uint64, disk.SegAddr) {
 	t.Helper()
 	uid := f.segs.NewUID()
-	addr, err := f.segs.Create("dska", uid, false)
+	addr, err := f.segs.Create("dska", uid, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -236,9 +236,11 @@ func (m *Manager) LoadPage(req PageReq) ([]Evicted, error) {
 	}
 	if req.HasRecord {
 		buf := make([]hw.Word, hw.PageWords)
-		if err := req.Pack.ReadRecord(req.Record, buf); err != nil {
+		if err := disk.Retry(m.meter, func() error {
+			return req.Pack.ReadRecord(req.Record, buf)
+		}); err != nil {
 			m.releaseFrame(frame)
-			return ev, err
+			return ev, fmt.Errorf("pageframe: fetching page %d of segment %d: %w", req.Page, req.UID, err)
 		}
 		if err := m.mem.WriteFrame(frame, buf); err != nil {
 			m.releaseFrame(frame)
@@ -296,8 +298,12 @@ func (m *Manager) AddPage(req PageReq) (disk.RecordAddr, []Evicted, error) {
 		return 0, nil, errors.New("pageframe: AddPage with nil page table")
 	}
 	m.meter.AddBody(bodyFaultService, m.Lang)
-	rec, err := req.Pack.AllocRecord()
-	if err != nil {
+	var rec disk.RecordAddr
+	if err := disk.Retry(m.meter, func() error {
+		var aerr error
+		rec, aerr = req.Pack.AllocRecord()
+		return aerr
+	}); err != nil {
 		return 0, nil, fmt.Errorf("pageframe: adding page %d of segment %d: %w", req.Page, req.UID, err)
 	}
 	frame, ev, err := m.obtainFrame()
@@ -510,13 +516,17 @@ func (m *Manager) writeBack(frame int, info frameInfo) (*Evicted, error) {
 	if m.Daemons && m.vps != nil {
 		pack, rec := info.pack, info.record
 		if err := m.vps.Enqueue(PageWriterModule, func() {
-			_ = pack.WriteRecord(rec, buf)
+			_ = disk.Retry(m.meter, func() error {
+				return pack.WriteRecord(rec, buf)
+			})
 		}); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := info.pack.WriteRecord(info.record, buf); err != nil {
-			return nil, err
+		if err := disk.Retry(m.meter, func() error {
+			return info.pack.WriteRecord(info.record, buf)
+		}); err != nil {
+			return nil, fmt.Errorf("pageframe: writing back page %d of segment %d: %w", info.page, info.uid, err)
 		}
 	}
 	return ev, nil

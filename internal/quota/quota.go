@@ -188,7 +188,11 @@ func (m *Manager) store(c *cell) error {
 }
 
 // Deactivate writes the cell back to its table-of-contents entry and
-// frees its table slot.
+// frees its table slot. The write-back happens first, with bounded
+// retry on transient disk faults; the cached copy is evicted only
+// after the entry holds the count. On failure the cell stays active
+// and the cache remains authoritative — deactivation can be retried,
+// and no count is ever lost to a half-done flush.
 func (m *Manager) Deactivate(name CellName) error {
 	m.mu.Lock()
 	c, ok := m.cells[name]
@@ -196,18 +200,31 @@ func (m *Manager) Deactivate(name CellName) error {
 		m.mu.Unlock()
 		return ErrNotActive
 	}
-	delete(m.cells, name)
-	m.slots[c.slot] = false
+	limit, used := c.limit, c.used
 	m.mu.Unlock()
 
 	pack, err := m.vols.Pack(name.Pack)
 	if err != nil {
 		return err
 	}
-	return pack.UpdateEntry(name.TOC, func(e *disk.TOCEntry) error {
-		e.Quota = disk.QuotaCell{Valid: true, Limit: c.limit, Used: c.used}
-		return nil
-	})
+	if err := disk.Retry(m.meter, func() error {
+		return pack.UpdateEntry(name.TOC, func(e *disk.TOCEntry) error {
+			e.Quota = disk.QuotaCell{Valid: true, Limit: limit, Used: used}
+			return nil
+		})
+	}); err != nil {
+		return fmt.Errorf("quota: flushing cell %v: %w", name, err)
+	}
+
+	m.mu.Lock()
+	// Re-check under the lock: a concurrent Deactivate may have
+	// already evicted the cell after our flush.
+	if cur, ok := m.cells[name]; ok && cur == c {
+		delete(m.cells, name)
+		m.slots[c.slot] = false
+	}
+	m.mu.Unlock()
+	return nil
 }
 
 // Charge checks that n more pages fit under the cell's limit and adds

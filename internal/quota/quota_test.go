@@ -43,7 +43,8 @@ func newFixture(t *testing.T) *fixture {
 // returns its cell name.
 func (f *fixture) newCell(t *testing.T, limit int) CellName {
 	t.Helper()
-	idx, err := f.pack.CreateEntry(uint64(f.pack.Entries()+1), true)
+	uid := uint64(f.pack.Entries() + 1)
+	idx, err := f.pack.CreateEntry(uid, true, uid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestInitCellValidation(t *testing.T) {
 		t.Error("double InitCell succeeded")
 	}
 	// Not a directory.
-	idx, err := f.pack.CreateEntry(99, false)
+	idx, err := f.pack.CreateEntry(99, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestCountsVisibleInCoreSegmentTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := pack.CreateEntry(1, true)
+	idx, err := pack.CreateEntry(1, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,159 @@
+package salvage_test
+
+import (
+	"fmt"
+	"testing"
+
+	"multics/internal/aim"
+	"multics/internal/core"
+	"multics/internal/directory"
+	"multics/internal/disk"
+	"multics/internal/hw"
+	"multics/internal/trace"
+)
+
+// crashedKernelPacks boots a full kernel, runs a paging workload with
+// a crash armed at the k-th disk mutation, and returns the demounted
+// packs — the disk state the next boot inherits.
+func crashedKernelPacks(t *testing.T, k int) []*disk.Pack {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Packs = []core.PackSpec{{ID: "dska", Records: 64}, {ID: "dskb", Records: 128}}
+	cfg.Processors = 1
+	kern, err := core.Boot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := kern.CPUs[0]
+	p, err := kern.CreateProcess("crash.sys", aim.Bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern.Attach(cpu, p)
+	if _, err := kern.CreateDir(cpu, p, nil, "d", directory.Public(hw.Read|hw.Write), aim.Bottom); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := &disk.FaultPlan{CrashAtMutation: k, Seed: uint64(k)}
+	kern.Vols.SetFaultPlan(plan)
+	// Grow files until dska overflows and segments relocate; every
+	// error past the crash point is expected.
+	for f := 0; f < 3; f++ {
+		name := fmt.Sprintf("f%d", f)
+		if _, err := kern.CreateFile(cpu, p, []string{"d"}, name, nil, aim.Bottom); err != nil {
+			continue
+		}
+		segno, err := kern.OpenPath(cpu, p, []string{"d", name})
+		if err != nil {
+			continue
+		}
+		for i := 0; i < 30; i++ {
+			_ = kern.Write(cpu, p, segno, i*hw.PageWords, hw.Word(f*100+i+1))
+		}
+	}
+	if !plan.Crashed() {
+		t.Skipf("workload stopped before mutation %d (made %d)", k, plan.Mutations())
+	}
+
+	var packs []*disk.Pack
+	for _, id := range []string{"dska", "dskb"} {
+		pk, err := kern.Vols.Demount(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk.SetFaultPlan(nil)
+		packs = append(packs, pk)
+	}
+	return packs
+}
+
+// TestBootSalvagesDirtyPacks: a kernel booted on the packs of a
+// crashed predecessor salvages them before anything else runs, keeps
+// the report, attributes the repairs to the volume-salvager module,
+// and is then fully usable.
+func TestBootSalvagesDirtyPacks(t *testing.T) {
+	packs := crashedKernelPacks(t, 40)
+
+	cfg := core.DefaultConfig()
+	cfg.Packs = nil
+	cfg.Mount = packs
+	cfg.Processors = 1
+	cfg.TraceEvents = 1 << 12
+	kern, err := core.Boot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root pack took every mutation up to the crash, so it is
+	// dirty for certain; dskb only if a relocation reached it.
+	if len(kern.Salvage.Packs) == 0 || kern.Salvage.Packs[0] != "dska" {
+		t.Fatalf("boot salvaged packs %v, want at least dska", kern.Salvage.Packs)
+	}
+	for _, id := range kern.Salvage.Packs {
+		p, err := kern.Vols.Pack(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Dirty() {
+			// Boot itself mutates the packs after salvage (the new
+			// root directory), so they are dirty again — which is
+			// itself evidence salvage ran before the mutations.
+			t.Errorf("pack %s never touched after salvage", id)
+		}
+	}
+	// Salvage repairs, if any, were recorded and legally attributed.
+	if unknown := kern.Trace.Unknown(); len(unknown) != 0 {
+		t.Errorf("trace events from unregistered modules: %v", unknown)
+	}
+	repairs := 0
+	for _, ev := range kern.Trace.Events() {
+		if ev.Kind == trace.EvSalvageRepair {
+			repairs++
+			if ev.Module != "volume-salvager" {
+				t.Errorf("salvage repair attributed to %q", ev.Module)
+			}
+		}
+	}
+	if repairs != len(kern.Salvage.Findings) {
+		t.Errorf("%d repair events, report has %d findings", repairs, len(kern.Salvage.Findings))
+	}
+
+	// The rebooted kernel works: build and read back a fresh file.
+	cpu := kern.CPUs[0]
+	p, err := kern.CreateProcess("reboot.sys", aim.Bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern.Attach(cpu, p)
+	if _, err := kern.CreateFile(cpu, p, nil, "after", nil, aim.Bottom); err != nil {
+		t.Fatal(err)
+	}
+	segno, err := kern.OpenPath(cpu, p, []string{"after"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := kern.Write(cpu, p, segno, i*hw.PageWords, hw.Word(9000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		w, err := kern.Read(cpu, p, segno, i*hw.PageWords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != hw.Word(9000+i) {
+			t.Errorf("word %d = %d after reboot, want %d", i, w, 9000+i)
+		}
+	}
+}
+
+// TestBootWithoutPacksRejected: a configuration with neither new nor
+// mounted packs cannot boot.
+func TestBootWithoutPacksRejected(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Packs = nil
+	cfg.Mount = nil
+	if _, err := core.Boot(cfg); err == nil {
+		t.Error("boot with no disk packs succeeded")
+	}
+}

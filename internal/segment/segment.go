@@ -59,9 +59,13 @@ var ErrNotActive = errors.New("segment: not active")
 var ErrNoQuotaCell = errors.New("segment: no governing quota cell")
 
 // A CellRef names an optional governing quota cell, for callers that
-// carry the binding around before activation.
+// carry the binding around before activation. UID is the unique
+// identifier of the quota directory owning the cell; it is recorded
+// on disk in the table-of-contents entries of governed segments so
+// the volume salvager can recompute used-counts.
 type CellRef struct {
 	Cell quota.CellName
+	UID  uint64
 	Has  bool
 }
 
@@ -163,17 +167,34 @@ func (m *Manager) NewUID() uint64 {
 }
 
 // Create makes a new, empty segment on the named pack and returns its
-// disk address.
-func (m *Manager) Create(packID string, uid uint64, dir bool) (disk.SegAddr, error) {
+// disk address. gov names, by unique identifier, the quota directory
+// whose cell will be charged for the segment's pages (zero for a
+// segment that never grows); it is recorded in the table-of-contents
+// entry so storage accounting stays recomputable after a crash.
+func (m *Manager) Create(packID string, uid uint64, dir bool, gov uint64) (disk.SegAddr, error) {
 	pack, err := m.vols.Pack(packID)
 	if err != nil {
 		return disk.SegAddr{}, err
 	}
-	idx, err := pack.CreateEntry(uid, dir)
+	idx, err := pack.CreateEntry(uid, dir, gov)
 	if err != nil {
-		return disk.SegAddr{}, err
+		return disk.SegAddr{}, fmt.Errorf("segment: creating %d on pack %s: %w", uid, packID, err)
 	}
 	return disk.SegAddr{Pack: packID, TOC: idx}, nil
+}
+
+// SetGov rebinds the on-disk governing-cell record of the entry at
+// addr. The directory manager calls it when a quota designation (or
+// its removal) changes which cell a directory's own pages charge.
+func (m *Manager) SetGov(addr disk.SegAddr, gov uint64) error {
+	pack, err := m.vols.Pack(addr.Pack)
+	if err != nil {
+		return err
+	}
+	return pack.UpdateEntry(addr.TOC, func(e *disk.TOCEntry) error {
+		e.Gov = gov
+		return nil
+	})
 }
 
 // Activate enters the segment at addr into the active segment table,
@@ -397,6 +418,11 @@ func (m *Manager) Grow(uid uint64, page, notifySeg, notifyPage int) (*disk.SegAd
 		newAddr, rerr := m.relocate(a)
 		if rerr != nil {
 			_ = m.cells.Release(a.cell, 1)
+			if newAddr != (disk.SegAddr{}) {
+				// The move committed before the failing step; report
+				// the new address so the directory entry is updated.
+				return &newAddr, fmt.Errorf("segment: relocating %d after full pack: %w", uid, rerr)
+			}
 			return nil, fmt.Errorf("segment: relocating %d after full pack: %w", uid, rerr)
 		}
 		newPack, perr := m.vols.Pack(newAddr.Pack)
@@ -521,16 +547,51 @@ func (m *Manager) relocate(a *ASTE) (disk.SegAddr, error) {
 			return disk.SegAddr{}, err
 		}
 		if e, err = oldPack.Entry(a.addr.TOC); err != nil {
+			_ = m.cells.Activate(a.addr)
 			return disk.SegAddr{}, err
 		}
 	}
 	if newPack.FreeRecords() < e.Records()+1 {
+		if cellActive {
+			_ = m.cells.Activate(a.addr)
+		}
 		return disk.SegAddr{}, fmt.Errorf("segment: no pack can hold segment %d (%d records)", a.uid, e.Records()+1)
 	}
-	newIdx, err := newPack.CreateEntry(a.uid, a.dir)
-	if err != nil {
-		return disk.SegAddr{}, err
+	// Relocation is a multi-step update of two tables of contents, so
+	// it must be interruptible at every step without corruption. abort
+	// undoes the visible effects of a failed move — copied records are
+	// freed, the half-built new entry is deleted, and a flushed quota
+	// cell is re-cached under its old name — leaving the pre-relocation
+	// state for a clean retry. After a simulated crash the undo writes
+	// fail too; then the pack stays dirty and the volume salvager
+	// repairs the leftovers at reboot.
+	var (
+		haveNew   bool
+		newIdx    disk.TOCIndex
+		copied    []disk.RecordAddr
+		installed bool
+	)
+	abort := func(cause error) (disk.SegAddr, error) {
+		if haveNew {
+			if !installed {
+				// The copied records are not yet named by the new
+				// entry's file map; free them individually.
+				for _, r := range copied {
+					_ = newPack.FreeRecord(r)
+				}
+			}
+			_ = newPack.DeleteEntry(newIdx)
+		}
+		if cellActive {
+			_ = m.cells.Activate(a.addr)
+		}
+		return disk.SegAddr{}, cause
 	}
+	newIdx, err = newPack.CreateEntry(a.uid, a.dir, e.Gov)
+	if err != nil {
+		return abort(fmt.Errorf("segment: relocating %d: %w", a.uid, err))
+	}
+	haveNew = true
 	newAddr := disk.SegAddr{Pack: newPack.ID(), TOC: newIdx}
 	buf := make([]hw.Word, hw.PageWords)
 	newMap := make([]disk.FileMapEntry, len(e.Map))
@@ -539,15 +600,24 @@ func (m *Manager) relocate(a *ASTE) (disk.SegAddr, error) {
 		if fm.State != disk.PageStored {
 			continue
 		}
-		rec, err := newPack.AllocRecord()
-		if err != nil {
-			return disk.SegAddr{}, err
+		var rec disk.RecordAddr
+		if err := disk.Retry(m.meter, func() error {
+			var aerr error
+			rec, aerr = newPack.AllocRecord()
+			return aerr
+		}); err != nil {
+			return abort(fmt.Errorf("segment: relocating %d, allocating for page %d: %w", a.uid, i, err))
 		}
-		if err := oldPack.ReadRecord(fm.Record, buf); err != nil {
-			return disk.SegAddr{}, err
+		copied = append(copied, rec)
+		if err := disk.Retry(m.meter, func() error {
+			return oldPack.ReadRecord(fm.Record, buf)
+		}); err != nil {
+			return abort(fmt.Errorf("segment: relocating %d, reading page %d: %w", a.uid, i, err))
 		}
-		if err := newPack.WriteRecord(rec, buf); err != nil {
-			return disk.SegAddr{}, err
+		if err := disk.Retry(m.meter, func() error {
+			return newPack.WriteRecord(rec, buf)
+		}); err != nil {
+			return abort(fmt.Errorf("segment: relocating %d, writing page %d: %w", a.uid, i, err))
 		}
 		newMap[i].Record = rec
 	}
@@ -556,21 +626,29 @@ func (m *Manager) relocate(a *ASTE) (disk.SegAddr, error) {
 		ne.Quota = e.Quota
 		return nil
 	}); err != nil {
-		return disk.SegAddr{}, err
+		return abort(fmt.Errorf("segment: relocating %d, installing file map: %w", a.uid, err))
 	}
-	// Rehome the cached cell under its new name.
+	installed = true
+	// The new copy is complete; deleting the old entry is the commit
+	// point. Before it, aborting restores the original. After it, the
+	// segment lives at newAddr, and any later failure is reported
+	// alongside that address so callers still record the move.
+	if err := oldPack.DeleteEntry(a.addr.TOC); err != nil {
+		return abort(fmt.Errorf("segment: relocating %d, deleting old entry: %w", a.uid, err))
+	}
+	// Rehome the cached cell under its new name. On failure the cell
+	// stays safely flushed in the new entry, and charging reactivates
+	// it lazily, so the move itself stands.
+	var postErr error
 	if cellActive {
 		if err := m.cells.Activate(newAddr); err != nil {
-			return disk.SegAddr{}, err
+			postErr = fmt.Errorf("segment: relocated %d but its quota cell is not cached: %w", a.uid, err)
 		}
-	}
-	if err := oldPack.DeleteEntry(a.addr.TOC); err != nil {
-		return disk.SegAddr{}, err
 	}
 	// Sever the address spaces; processes reconnect through the
 	// missing-segment machinery.
-	if err := m.Disconnect(a.uid); err != nil {
-		return disk.SegAddr{}, err
+	if err := m.Disconnect(a.uid); err != nil && postErr == nil {
+		postErr = err
 	}
 	oldAddr := a.addr
 	m.mu.Lock()
@@ -585,7 +663,7 @@ func (m *Manager) relocate(a *ASTE) (disk.SegAddr, error) {
 		}
 	}
 	m.mu.Unlock()
-	return newAddr, nil
+	return newAddr, postErr
 }
 
 // DiskEntry returns a copy of the table-of-contents entry at addr,

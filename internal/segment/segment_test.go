@@ -78,7 +78,7 @@ func newFixture(t *testing.T, pageable, packA int) *fixture {
 func (f *fixture) quotaDir(t *testing.T, limit int) (uint64, quota.CellName) {
 	t.Helper()
 	uid := f.m.NewUID()
-	addr, err := f.m.Create("dska", uid, true)
+	addr, err := f.m.Create("dska", uid, true, uid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func (f *fixture) quotaDir(t *testing.T, limit int) (uint64, quota.CellName) {
 func (f *fixture) newSeg(t *testing.T, cell quota.CellName) (uint64, *ASTE) {
 	t.Helper()
 	uid := f.m.NewUID()
-	addr, err := f.m.Create("dska", uid, false)
+	addr, err := f.m.Create("dska", uid, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestActivateBuildsPageTableFromFileMap(t *testing.T) {
 	f := newFixture(t, 4, 64)
 	_, cell := f.quotaDir(t, 100)
 	uid := f.m.NewUID()
-	addr, err := f.m.Create("dska", uid, false)
+	addr, err := f.m.Create("dska", uid, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestGrowValidation(t *testing.T) {
 	}
 	// A segment with no governing cell cannot grow.
 	uid2 := f.m.NewUID()
-	addr2, err := f.m.Create("dska", uid2, false)
+	addr2, err := f.m.Create("dska", uid2, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -625,7 +625,7 @@ func TestASTCapacity(t *testing.T) {
 	var uids []uint64
 	for i := 0; i < cap; i++ {
 		uid := f.m.NewUID()
-		addr, err := f.m.Create("dskb", uid, false)
+		addr, err := f.m.Create("dskb", uid, false, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -635,7 +635,7 @@ func TestASTCapacity(t *testing.T) {
 		uids = append(uids, uid)
 	}
 	uid := f.m.NewUID()
-	addr, err := f.m.Create("dskb", uid, false)
+	addr, err := f.m.Create("dskb", uid, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -89,15 +89,24 @@ const (
 	// EvAdvance: an eventcount was advanced, waking whoever was
 	// behind (Arg0 is the new count).
 	EvAdvance
+	// EvFaultInjected: the disk fault plane injected a fault (Arg0
+	// is the operation class, -1 for a table-of-contents mutation;
+	// Arg1 is 0 transient, 1 permanent, 2 crash).
+	EvFaultInjected
+	// EvSalvageRepair: the volume salvager repaired one
+	// inconsistency (Arg0 is the repair class, Arg1/Arg2
+	// repair-specific).
+	EvSalvageRepair
 
 	// NumKinds is the size of per-kind counter arrays.
-	NumKinds = int(EvAdvance) + 1
+	NumKinds = int(EvSalvageRepair) + 1
 )
 
 var kindNames = [NumKinds]string{
 	"fault", "gate-cross", "page-fetch", "page-evict", "lock-spin",
 	"dispatch", "ipc", "process-swap", "disk-read", "disk-write",
 	"quota-check", "signal-raise", "signal-handle", "await", "advance",
+	"fault-injected", "salvage-repair",
 }
 
 func (k Kind) String() string {

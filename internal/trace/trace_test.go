@@ -165,3 +165,34 @@ func TestFormatEventsStable(t *testing.T) {
 		t.Errorf("missing kind names:\n%s", a)
 	}
 }
+
+func TestRobustnessKindsNamedAndCounted(t *testing.T) {
+	// The fault plane's and salvager's kinds are real members of the
+	// kind space: named, formatted, and attributed like any other.
+	for _, k := range []Kind{EvFaultInjected, EvSalvageRepair} {
+		if int(k) >= NumKinds {
+			t.Fatalf("kind %d outside NumKinds", int(k))
+		}
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("Kind(%d) unnamed: %q", int(k), s)
+		}
+	}
+	r := NewRecorder(8, nil)
+	r.Register("disk-record-manager", "volume-salvager")
+	r.Emit(Event{Kind: EvFaultInjected, Module: "disk-record-manager", Arg0: 2, Arg1: 1})
+	r.Emit(Event{Kind: EvSalvageRepair, Module: "volume-salvager", Arg0: 4})
+	s := r.Snapshot()
+	if s.Modules["disk-record-manager"].Ops[EvFaultInjected] != 1 {
+		t.Error("fault-injected not attributed to the disk manager")
+	}
+	if s.Modules["volume-salvager"].Ops[EvSalvageRepair] != 1 {
+		t.Error("salvage-repair not attributed to the salvager")
+	}
+	if len(r.Unknown()) != 0 {
+		t.Errorf("registered modules flagged unknown: %v", r.Unknown())
+	}
+	out := FormatEvents(r.Events())
+	if !strings.Contains(out, "fault-injected") || !strings.Contains(out, "salvage-repair") {
+		t.Errorf("kind names missing from formatted stream:\n%s", out)
+	}
+}

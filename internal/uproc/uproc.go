@@ -308,7 +308,7 @@ func (m *Manager) Create(principal string, label aim.Label) (*Process, error) {
 	}
 	// The process state segment: ordinary, pageable, quota-charged.
 	stateUID := m.segs.NewUID()
-	stateAddr, err := m.segs.Create(m.StatePack, stateUID, false)
+	stateAddr, err := m.segs.Create(m.StatePack, stateUID, false, m.StateCell.UID)
 	if err != nil {
 		return nil, err
 	}

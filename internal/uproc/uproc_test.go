@@ -73,14 +73,14 @@ func newFixture(t *testing.T, nvp int) *fixture {
 	m.StatePack = "dska"
 	// A quota directory for process states.
 	uid := segs.NewUID()
-	cell, err := segs.Create("dska", uid, true)
+	cell, err := segs.Create("dska", uid, true, uid)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := cells.InitCell(cell, 100); err != nil {
 		t.Fatal(err)
 	}
-	m.StateCell = segment.CellRef{Cell: cell, Has: true}
+	m.StateCell = segment.CellRef{Cell: cell, UID: uid, Has: true}
 	return &fixture{meter: meter, vps: vps, segs: segs, queue: queue, m: m}
 }
 
