@@ -11,9 +11,11 @@ import (
 	"os"
 	"strings"
 
+	"multics/internal/aim"
 	"multics/internal/baseline"
 	"multics/internal/core"
 	"multics/internal/deps"
+	"multics/internal/lockrank"
 )
 
 func main() {
@@ -68,9 +70,41 @@ func main() {
 			fmt.Printf("    %s -> %s [%v] %s\n", e.From, e.To, e.Kind, e.Note)
 		}
 	}
+	if *view == "kernel" {
+		printLockRanks()
+	}
 	if err := g.Verify(); err != nil {
 		fmt.Printf("\nVerify: FAIL — %v\n", err)
 	} else {
 		fmt.Printf("\nVerify: ok — the structure satisfies the type-extension rationale\n")
+	}
+}
+
+// printLockRanks boots a minimal kernel — which installs the
+// certification layers as lock ranks and declares every manager's
+// ranked lock — and prints the resulting table, highest rank first:
+// the order in which one call chain may acquire them.
+func printLockRanks() {
+	k, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "depgraph: boot for lock ranks:", err)
+		os.Exit(1)
+	}
+	// A process declares the per-process locks (the known segment
+	// table), completing the table.
+	if _, err := k.CreateProcess("depgraph.x", aim.Bottom); err != nil {
+		fmt.Fprintln(os.Stderr, "depgraph: process for lock ranks:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Println("Lock ranks (a chain of acquisitions must strictly descend):")
+	table := lockrank.Table()
+	for i := len(table) - 1; i >= 0; i-- {
+		e := table[i]
+		if e.Rank == lockrank.Unranked {
+			fmt.Printf("    unranked           %s\n", e.Name())
+			continue
+		}
+		fmt.Printf("    rank %3d  layer %d  %s\n", e.Rank, e.Layer, e.Name())
 	}
 }

@@ -11,11 +11,18 @@
 //	P7 network kernel bulk per networks  (paper: linear vs nearly flat)
 //	P8 scheduler one-level vs two-level  (paper: about the same)
 //	P9 fault-storm cycle attribution     (the meters, per module)
+//	P10 parallel speedup                 (1/2/4 processors, makespan)
+//
+// Every comparison is also written machine-readable to the path named
+// by -json (default BENCH_kernel.json; empty disables).
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"multics/internal/aim"
 	"multics/internal/answering"
@@ -24,11 +31,28 @@ import (
 	"multics/internal/directory"
 	"multics/internal/hw"
 	"multics/internal/linker"
+	"multics/internal/lockrank"
 	"multics/internal/netmux"
+	"multics/internal/trace"
 	"multics/internal/uproc"
 )
 
+// A benchResult is one comparison's machine-readable form.
+type benchResult struct {
+	Name    string         `json:"name"`
+	Metrics map[string]any `json:"metrics"`
+}
+
+var results []benchResult
+
+// record keeps one comparison's numbers for the JSON report.
+func record(name string, metrics map[string]any) {
+	results = append(results, benchResult{Name: name, Metrics: metrics})
+}
+
 func main() {
+	jsonPath := flag.String("json", "BENCH_kernel.json", "write machine-readable results to this path (empty disables)")
+	flag.Parse()
 	fmt.Println("kernelbench: deterministic simulated-cycle comparisons")
 	fmt.Println()
 	p1()
@@ -40,6 +64,13 @@ func main() {
 	p7()
 	p8()
 	p9()
+	p10()
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
+		check(err)
+		check(os.WriteFile(*jsonPath, append(out, '\n'), 0o644))
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
 }
 
 func bootKernel(mutate func(*core.Config)) *core.Kernel {
@@ -112,6 +143,7 @@ func p1() {
 	in, out := cost(linker.InKernel), cost(linker.UserRing)
 	fmt.Printf("P1 linker snap:        in-kernel %6d cyc, user-ring %6d cyc (%s)  [paper: somewhat slower when removed]\n",
 		in, out, ratio(out, in))
+	record("P1 linker snap", map[string]any{"in_kernel_cycles": in, "user_ring_cycles": out})
 }
 
 func p2() {
@@ -144,6 +176,7 @@ func p2() {
 	buried := k.Meter.Cycles() / 100
 	fmt.Printf("P2 pathname resolve:   in-kernel %6d cyc, user-ring %6d cyc (%s)  [paper: somewhat faster when removed]\n",
 		buried, walk, ratio(walk, buried))
+	record("P2 pathname resolve", map[string]any{"in_kernel_cycles": buried, "user_ring_cycles": walk})
 }
 
 func p3() {
@@ -162,11 +195,14 @@ func p3() {
 	mono, split := cost(answering.Monolithic), cost(answering.Split)
 	fmt.Printf("P3 login:              monolithic %4d cyc, split %4d cyc (%s)  [paper: about 3%% slower]\n",
 		mono, split, ratio(split, mono))
+	record("P3 login", map[string]any{"monolithic_cycles": mono, "split_cycles": split})
 }
 
 func p4() {
+	factor := float64(hw.BodyCycles(1000, hw.PLI)) / 1000
 	fmt.Printf("P4 PL/I recode:        algorithm body x%.1f instructions (hw.BodyCycles model)  [paper: somewhat more than a factor of two]\n",
-		float64(hw.BodyCycles(1000, hw.PLI))/1000)
+		factor)
+	record("P4 PL/I recode", map[string]any{"instruction_factor": factor})
 }
 
 func faultStorm(k *core.Kernel) int64 {
@@ -209,10 +245,12 @@ func p5() {
 	kern := faultStorm(bootKernel(func(c *core.Config) { c.MemFrames = 24; c.WiredFrames = 8 }))
 	fmt.Printf("P5 page-fault path:    1974 %5d cyc, kernel %5d cyc (%s)  [paper: negative, not significant]\n",
 		base, kern, ratio(kern, base))
+	record("P5 page-fault path", map[string]any{"baseline_cycles": base, "kernel_cycles": kern})
 }
 
 func p6() {
 	fmt.Println("P6 quota growth (cycles per charged page):")
+	var rows []map[string]any
 	for _, depth := range []int{1, 2, 4, 8, 16} {
 		k := bootKernel(nil)
 		p, err := k.CreateProcess("u.x", aim.Bottom)
@@ -259,17 +297,22 @@ func p6() {
 		}
 		base := s.Meter.Cycles() / 50
 		fmt.Printf("    depth %2d: static cell %5d cyc, dynamic walk %5d cyc\n", depth, kern, base)
+		rows = append(rows, map[string]any{"depth": depth, "static_cell_cycles": kern, "dynamic_walk_cycles": base})
 	}
 	fmt.Println("    [paper: the static binding removes the upward search entirely]")
+	record("P6 quota growth", map[string]any{"per_depth": rows})
 }
 
 func p7() {
 	fmt.Println("P7 network kernel bulk (source lines) by attached networks:")
+	var rows []map[string]any
 	for n := 1; n <= 6; n++ {
-		fmt.Printf("    %d networks: per-network-in-kernel %6d lines, generic %5d lines\n",
-			n, netmux.KernelLines(netmux.PerNetworkKernel, n), netmux.KernelLines(netmux.GenericKernel, n))
+		per, gen := netmux.KernelLines(netmux.PerNetworkKernel, n), netmux.KernelLines(netmux.GenericKernel, n)
+		fmt.Printf("    %d networks: per-network-in-kernel %6d lines, generic %5d lines\n", n, per, gen)
+		rows = append(rows, map[string]any{"networks": n, "per_network_lines": per, "generic_lines": gen})
 	}
 	fmt.Println("    [paper: 7,000 lines shrink below 1,000 and grow only slightly per network]")
+	record("P7 network kernel bulk", map[string]any{"per_networks": rows})
 }
 
 func p8() {
@@ -293,6 +336,7 @@ func p8() {
 	two := k.Meter.Cycles() / 100
 	fmt.Printf("P8 scheduler quantum:  one-level %4d cyc, two-level %4d cyc (%s)  [paper: about the same]\n",
 		one, two, ratio(two, one))
+	record("P8 scheduler quantum", map[string]any{"one_level_cycles": one, "two_level_cycles": two})
 }
 
 // p9 reruns the P5 fault storm on a traced kernel and attributes its
@@ -309,4 +353,98 @@ func p9() {
 	faultStorm(k)
 	diff := k.Trace.Snapshot().Since(before)
 	fmt.Print(diff.Table(k.CertificationOrder()))
+	record("P9 fault-storm attribution", map[string]any{"table": diff.Table(k.CertificationOrder())})
+}
+
+// p10 measures true-multiprocessor throughput on a paging- and
+// quota-heavy workload. A fixed amount of work — rounds of growing a
+// file page by page under quota, reading it back, and truncating it —
+// is divided among 1, 2 and 4 simulated processors running on real
+// goroutines; the figure of merit is the simulated makespan: the
+// busiest processor's cycle account (lock waits cost no simulated
+// cycles, so this is the ideal-hardware speedup; the rank checker is
+// off, as a release build would have it).
+func p10() {
+	prev := lockrank.SetChecking(false)
+	defer lockrank.SetChecking(prev)
+	fmt.Println("P10 parallel speedup (fixed work, simulated makespan = busiest processor's cycles):")
+	const (
+		totalRounds = 192
+		pages       = 8
+	)
+	var base int64
+	var rows []map[string]any
+	for _, nCPU := range []int{1, 2, 4} {
+		makespan, ops := parallelStorm(nCPU, totalRounds, pages)
+		speedup := 1.0
+		if base == 0 {
+			base = makespan
+		} else {
+			speedup = float64(base) / float64(makespan)
+		}
+		fmt.Printf("    %d processors: %9d cyc makespan over %d rounds  speedup x%.2f\n", nCPU, makespan, ops, speedup)
+		rows = append(rows, map[string]any{"processors": nCPU, "makespan_cycles": makespan, "rounds": ops, "speedup": speedup})
+	}
+	fmt.Println("    [design: distinct processes on distinct processors under lattice-ranked locks]")
+	record("P10 parallel speedup", map[string]any{"per_processors": rows})
+}
+
+// parallelStorm boots an nCPU kernel and drives totalRounds rounds of
+// the paging+quota workload, split evenly across the processors, each
+// worker against its own quota directory. It returns the makespan —
+// the maximum per-processor cycle account — and the rounds run.
+func parallelStorm(nCPU, totalRounds, pages int) (int64, int) {
+	k := bootKernel(func(c *core.Config) {
+		c.Processors = nCPU
+		c.MemFrames = 48 // pressure enough that pages cycle through disk
+		c.WiredFrames = 8
+	})
+	type worker struct {
+		cpu   *hw.Processor
+		p     *uproc.Process
+		segno int
+	}
+	var workers []*worker
+	for i := 0; i < nCPU; i++ {
+		p, err := k.CreateProcess(fmt.Sprintf("par%d.x", i), aim.Bottom)
+		check(err)
+		cpu := k.CPUs[i]
+		k.Attach(cpu, p)
+		dir := fmt.Sprintf("w%d", i)
+		id, err := k.CreateDir(cpu, p, nil, dir, directory.Public(hw.Read|hw.Write), aim.Bottom)
+		check(err)
+		check(k.DesignateQuota(cpu, p, id, 4096))
+		_, err = k.CreateFile(cpu, p, []string{dir}, "f", nil, aim.Bottom)
+		check(err)
+		segno, err := k.OpenPath(cpu, p, []string{dir, "f"})
+		check(err)
+		workers = append(workers, &worker{cpu: cpu, p: p, segno: segno})
+	}
+	rounds := totalRounds / nCPU
+	var wg sync.WaitGroup
+	for wi, w := range workers {
+		wg.Add(1)
+		go func(wi int, w *worker) {
+			defer wg.Done()
+			defer trace.BindCPU(w.cpu.ID)()
+			for r := 0; r < rounds; r++ {
+				for pg := 0; pg < pages; pg++ {
+					check(k.Write(w.cpu, w.p, w.segno, pg*hw.PageWords+r%hw.PageWords, hw.Word(wi+1)))
+				}
+				for pg := 0; pg < pages; pg++ {
+					_, err := k.Read(w.cpu, w.p, w.segno, pg*hw.PageWords+r%hw.PageWords)
+					check(err)
+				}
+				check(k.Truncate(w.cpu, w.p, w.segno, 0))
+			}
+		}(wi, w)
+	}
+	wg.Wait()
+	var makespan int64
+	for i := 0; i < nCPU; i++ {
+		if c := k.Meter.CPUCycles(i); c > makespan {
+			makespan = c
+		}
+	}
+	return makespan, rounds * nCPU
 }

@@ -1,27 +1,32 @@
 package core
 
 import (
+	"multics/internal/coreseg"
 	"multics/internal/deps"
+	"multics/internal/directory"
 	"multics/internal/disk"
+	"multics/internal/knownseg"
 	"multics/internal/pageframe"
 	"multics/internal/quota"
 	"multics/internal/salvage"
+	"multics/internal/segment"
 	"multics/internal/uproc"
 	"multics/internal/vproc"
 )
 
 // Module names of the Kernel/Multics design (Figure 4 of the paper).
-// Instrumented managers own their names (their trace events must carry
-// the same strings); the rest are defined here.
+// Every manager owns its name: its trace events and its ranked locks
+// must carry the same string the dependency graph uses, so the lock
+// ranks installed from the graph's layers reach the right mutexes.
 const (
-	ModCoreSeg  = "core-segment-manager"
+	ModCoreSeg  = coreseg.ModuleName
 	ModVProc    = vproc.ModuleName
 	ModDisk     = disk.ModuleName
 	ModFrame    = pageframe.ModuleName
 	ModQuota    = quota.ModuleName
-	ModSegment  = "active-segment-manager"
-	ModKnownSeg = "known-segment-manager"
-	ModDir      = "directory-manager"
+	ModSegment  = segment.ModuleName
+	ModKnownSeg = knownseg.ModuleName
+	ModDir      = directory.ModuleName
 	ModUProc    = uproc.ModuleName
 	ModSalvage  = salvage.ModuleName
 )

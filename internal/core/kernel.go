@@ -17,6 +17,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"multics/internal/aim"
 	"multics/internal/coreseg"
@@ -25,6 +26,7 @@ import (
 	"multics/internal/disk"
 	"multics/internal/hw"
 	"multics/internal/knownseg"
+	"multics/internal/lockrank"
 	"multics/internal/pageframe"
 	"multics/internal/quota"
 	"multics/internal/salvage"
@@ -38,6 +40,12 @@ import (
 // ReclaimerModule is the second dedicated memory-management process of
 // the redesigned (multi-process) paging system.
 const ReclaimerModule = "core-reclaimer"
+
+// GateModule names the kernel's own gate lock in the lock-rank table.
+// It is not a module of the Figure-4 lattice: it ranks one layer above
+// the whole lattice, because the fault loop holds it while upward-
+// signal handlers acquire module locks below.
+const GateModule = "kernel-gate"
 
 // A PackSpec describes one disk pack to mount at boot.
 type PackSpec struct {
@@ -117,8 +125,14 @@ type Kernel struct {
 	Salvage salvage.Report
 
 	cfg Config
+	// mu is the kernel's gate lock: the fault loop holds it while
+	// dispatching upward signals, so relocation handlers — which walk
+	// down from the directory manager — run one at a time even with
+	// several processors faulting concurrently. Ranked one layer
+	// above the whole lattice (GateModule).
+	mu lockrank.Mutex
 	// restores counts processes resumed after relocation notices.
-	restores int64
+	restores atomic.Int64
 }
 
 // Boot builds and verifies a Kernel/Multics instance.
@@ -143,6 +157,17 @@ func Boot(cfg Config) (*Kernel, error) {
 	if err := k.Graph.Verify(); err != nil {
 		return nil, fmt.Errorf("core: kernel structure rejected: %w", err)
 	}
+	// The certification order doubles as the locking order: install
+	// the layers as lock ranks, so that (in debug builds) acquiring a
+	// module's lock while holding an equal-or-lower-ranked one panics.
+	// The graph is static, so every boot installs identical ranks.
+	layers, err := k.Graph.Layers()
+	if err != nil {
+		return nil, fmt.Errorf("core: kernel structure rejected: %w", err)
+	}
+	lockrank.SetLayers(layers)
+	lockrank.SetModuleLayer(GateModule, len(layers))
+	k.mu.Init(GateModule)
 	if cfg.TraceEvents > 0 {
 		// The recorder exists before the disk level boots so that
 		// salvage repairs are on the record.
@@ -234,7 +259,7 @@ func Boot(cfg Config) (*Kernel, error) {
 		return nil, err
 	}
 	k.Dirs.Restore = func(state any) {
-		k.restores++
+		k.restores.Add(1)
 		if r, ok := state.(func()); ok && r != nil {
 			r()
 		}
@@ -252,20 +277,16 @@ func Boot(cfg Config) (*Kernel, error) {
 	k.Procs.StateCell = segment.CellRef{Cell: rootEntry.Addr, UID: rootEntry.UID, Has: true}
 
 	// Processors, with the kernel design's two hardware additions.
-	sysDT := hw.NewDescriptorTable(k.Procs.KSTBase)
-	for i, name := range cm.Segments() {
-		seg, err := cm.Segment(name)
+	// Each processor carries its own wired descriptor table behind
+	// its second descriptor base register: the tables translate
+	// identically (they share the wired page tables), but a fault
+	// being serviced through one processor's table never contends on
+	// another's.
+	for i := 0; i < cfg.Processors; i++ {
+		sysDT, err := buildSystemDT(cm, k.Procs.KSTBase)
 		if err != nil {
 			return nil, err
 		}
-		if i >= sysDT.Len() {
-			break
-		}
-		if err := sysDT.Set(i, hw.SDW{Present: true, Table: seg.PageTable(), Access: hw.Read | hw.Write, MaxRing: hw.KernelRing, WriteRing: hw.KernelRing}); err != nil {
-			return nil, err
-		}
-	}
-	for i := 0; i < cfg.Processors; i++ {
 		cpu := hw.NewProcessor(i, k.Mem, k.Meter)
 		cpu.DescriptorLockHW = true
 		cpu.SystemDT = sysDT
@@ -325,8 +346,27 @@ func (k *Kernel) wireTrace(rec *trace.Recorder) {
 	k.Trace = rec
 }
 
+// buildSystemDT wires one processor's system descriptor table over
+// the core segments.
+func buildSystemDT(cm *coreseg.Manager, kstBase int) (*hw.DescriptorTable, error) {
+	sysDT := hw.NewDescriptorTable(kstBase)
+	for i, name := range cm.Segments() {
+		seg, err := cm.Segment(name)
+		if err != nil {
+			return nil, err
+		}
+		if i >= sysDT.Len() {
+			break
+		}
+		if err := sysDT.Set(i, hw.SDW{Present: true, Table: seg.PageTable(), Access: hw.Read | hw.Write, MaxRing: hw.KernelRing, WriteRing: hw.KernelRing}); err != nil {
+			return nil, err
+		}
+	}
+	return sysDT, nil
+}
+
 // Restores reports how many relocation notices resumed a process.
-func (k *Kernel) Restores() int64 { return k.restores }
+func (k *Kernel) Restores() int64 { return k.restores.Load() }
 
 // CertificationOrder returns the module layers in which an auditor
 // can establish correctness bottom-up.

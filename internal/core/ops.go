@@ -162,6 +162,20 @@ func (k *Kernel) Rename(cpu *hw.Processor, p *uproc.Process, dirPath []string, o
 	})
 }
 
+// Delete removes the named entry from the directory named by dirPath,
+// destroying its segment and returning its records and quota. The
+// caller must not reference the segment afterwards: any stale binding
+// faults and the missing-segment service reports the object gone.
+func (k *Kernel) Delete(cpu *hw.Processor, p *uproc.Process, dirPath []string, name string) error {
+	dirID, err := k.WalkPath(cpu, p, dirPath)
+	if err != nil {
+		return err
+	}
+	return k.gate(cpu, ModDir, func() error {
+		return k.Dirs.Delete(directory.Principal(p.Principal()), p.Label(), dirID, name)
+	})
+}
+
 // Truncate discards the pages of an opened segment at or beyond
 // newPages, releasing their storage and quota. The caller needs write
 // access to the segment.
@@ -229,12 +243,28 @@ func (k *Kernel) access(cpu *hw.Processor, p *uproc.Process, segno, off int, wri
 		}
 		// The faulting call chain has unwound; run any upward
 		// signals (relocation notices) and daemon work.
-		if _, derr := k.Signals.Dispatch(); derr != nil {
+		if derr := k.dispatchSignals(); derr != nil {
 			return 0, derr
 		}
 		k.VProcs.RunPending()
 	}
 	return 0, fmt.Errorf("%w: segment %d offset %d", ErrFaultLoop, segno, off)
+}
+
+// dispatchSignals runs pending upward signals under the kernel's gate
+// lock, so that a relocation handler's walk down from the directory
+// manager holds the top-ranked lock while it acquires module locks
+// below — the acquisition order the rank checker certifies. The
+// pending check keeps the common no-signal rereference from
+// serializing the processors.
+func (k *Kernel) dispatchSignals() error {
+	if k.Signals.Pending() == 0 {
+		return nil
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	_, err := k.Signals.Dispatch()
+	return err
 }
 
 // handleFault maps one hardware exception to the manager that owns it.

@@ -1,0 +1,238 @@
+package core
+
+// Multiprocessor gate stress: four simulated CPUs issue interleaved
+// gate calls — create, grow (quota-charged writes), read back,
+// truncate, delete — against the shared directory hierarchy, quota
+// cells, frame pool and packs. The storage-accounting invariant must
+// balance exactly afterwards and every manager audit must be clean.
+// Run with -race to exercise the ranked locking.
+//
+// The file also checks the lock-rank table against the certification
+// order, and that the parallel scheduler really runs distinct
+// processes on distinct processors at the same time.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"multics/internal/aim"
+	"multics/internal/hw"
+	"multics/internal/lockrank"
+	"multics/internal/trace"
+	"multics/internal/uproc"
+)
+
+func TestSMPGateStress(t *testing.T) {
+	const (
+		nCPU   = 4
+		rounds = 6
+		pages  = 6
+	)
+	k := boot(t, func(c *Config) {
+		c.Processors = nCPU
+		c.MemFrames = 40 // pressure: four working sets contend
+		c.WiredFrames = 8
+		c.RootQuota = 4096
+	})
+	type worker struct {
+		cpu *hw.Processor
+		p   *uproc.Process
+	}
+	var workers []*worker
+	for i := 0; i < nCPU; i++ {
+		p, err := k.CreateProcess(fmt.Sprintf("gate%d.x", i), aim.Bottom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := k.CPUs[i]
+		k.Attach(cpu, p)
+		workers = append(workers, &worker{cpu: cpu, p: p})
+	}
+
+	// Warm-up: one create/write/delete materializes the root
+	// directory's entry page, so the baseline below is the kernel's
+	// steady state — the storm must return to it exactly.
+	w0 := workers[0]
+	if _, err := k.CreateFile(w0.cpu, w0.p, nil, "warmup", nil, aim.Bottom); err != nil {
+		t.Fatal(err)
+	}
+	segno, err := k.OpenPath(w0.cpu, w0.p, []string{"warmup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Write(w0.cpu, w0.p, segno, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Delete(w0.cpu, w0.p, nil, "warmup"); err != nil {
+		t.Fatal(err)
+	}
+	chargedBefore, allocatedBefore := accountingBalance(t, k)
+	if chargedBefore != allocatedBefore {
+		t.Fatalf("unbalanced before storm: %d charged vs %d allocated", chargedBefore, allocatedBefore)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nCPU)
+	for wi, w := range workers {
+		wg.Add(1)
+		go func(wi int, w *worker) {
+			defer wg.Done()
+			fail := func(err error) { errs <- fmt.Errorf("worker %d: %w", wi, err) }
+			for r := 0; r < rounds; r++ {
+				name := fmt.Sprintf("w%d-r%d", wi, r)
+				if _, err := k.CreateFile(w.cpu, w.p, nil, name, nil, aim.Bottom); err != nil {
+					fail(err)
+					return
+				}
+				segno, err := k.OpenPath(w.cpu, w.p, []string{name})
+				if err != nil {
+					fail(err)
+					return
+				}
+				base := hw.Word(1000*(wi+1) + r)
+				for pg := 0; pg < pages; pg++ {
+					if err := k.Write(w.cpu, w.p, segno, pg*hw.PageWords+wi, base+hw.Word(pg)); err != nil {
+						fail(err)
+						return
+					}
+				}
+				for pg := 0; pg < pages; pg++ {
+					got, err := k.Read(w.cpu, w.p, segno, pg*hw.PageWords+wi)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if got != base+hw.Word(pg) {
+						fail(fmt.Errorf("round %d page %d = %d, want %d", r, pg, got, base+hw.Word(pg)))
+						return
+					}
+				}
+				if err := k.Truncate(w.cpu, w.p, segno, 1); err != nil {
+					fail(err)
+					return
+				}
+				if err := k.Delete(w.cpu, w.p, nil, name); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(wi, w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Everything created was deleted: the books must balance and
+	// return to the pre-storm figures exactly.
+	charged, allocated := accountingBalance(t, k)
+	if charged != allocated {
+		t.Errorf("after storm: %d pages charged vs %d records allocated", charged, allocated)
+	}
+	if charged != chargedBefore || allocated != allocatedBefore {
+		t.Errorf("after storm: charged/allocated %d/%d, want the pre-storm %d/%d",
+			charged, allocated, chargedBefore, allocatedBefore)
+	}
+	if bad := k.Frames.Audit(); len(bad) != 0 {
+		t.Errorf("page frame audit: %v", bad)
+	}
+	if bad := k.Segs.Audit(); len(bad) != 0 {
+		t.Errorf("segment audit: %v", bad)
+	}
+	if bad := k.KSM.Audit(); len(bad) != 0 {
+		t.Errorf("KST audit: %v", bad)
+	}
+	if bad := k.VProcs.Audit(); len(bad) != 0 {
+		t.Errorf("virtual processor audit: %v", bad)
+	}
+}
+
+// TestLockRanksFollowCertificationOrder checks that every ranked lock
+// declared by a manager carries exactly the rank its module's
+// certification layer assigns, and that the kernel's own gate lock
+// ranks one layer above the whole lattice.
+func TestLockRanksFollowCertificationOrder(t *testing.T) {
+	k := boot(t, nil)
+	layers := k.CertificationOrder()
+	layerOf := make(map[string]int)
+	for i, layer := range layers {
+		for _, mod := range layer {
+			layerOf[mod] = i
+		}
+	}
+	table := lockrank.Table()
+	seen := make(map[string]bool)
+	for _, e := range table {
+		seen[e.Module] = true
+		if e.Module == GateModule {
+			if e.Layer != len(layers) {
+				t.Errorf("kernel gate lock at layer %d, want %d (above the lattice)", e.Layer, len(layers))
+			}
+			continue
+		}
+		want, inLattice := layerOf[e.Module]
+		if !inLattice {
+			if e.Rank != lockrank.Unranked {
+				t.Errorf("lock %s ranked %d but its module is not in the lattice", e.Name(), e.Rank)
+			}
+			continue
+		}
+		if e.Layer != want {
+			t.Errorf("lock %s at layer %d, certification order says %d", e.Name(), e.Layer, want)
+		}
+		if e.Rank != lockrank.Rank(want*lockrank.MaxSubs+e.Sub) {
+			t.Errorf("lock %s rank %d, want %d", e.Name(), e.Rank, want*lockrank.MaxSubs+e.Sub)
+		}
+	}
+	// Every migrated manager must actually have a ranked lock.
+	for _, mod := range []string{ModCoreSeg, ModVProc, ModFrame, ModQuota, ModSegment, ModKnownSeg, ModDir, ModUProc, GateModule} {
+		if !seen[mod] {
+			t.Errorf("module %s declares no ranked lock", mod)
+		}
+	}
+}
+
+// TestRunQuantumParallel proves the scheduler dispatches distinct
+// processes to distinct processors concurrently: every processor's
+// goroutine must be inside the quantum body at the same instant for
+// the barrier to release, and the swap events must carry both
+// processors' identities.
+func TestRunQuantumParallel(t *testing.T) {
+	const nCPU = 2
+	k := boot(t, func(c *Config) { c.Processors = nCPU })
+	rec := k.StartTrace(4096)
+	for i := 0; i < nCPU; i++ {
+		if _, err := k.CreateProcess(fmt.Sprintf("par%d.x", i), aim.Bottom); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var barrier sync.WaitGroup
+	barrier.Add(nCPU)
+	ran, err := k.Procs.RunQuantumParallel(k.CPUs, 1, func(cpu *hw.Processor, p *uproc.Process) {
+		k.Attach(cpu, p)
+		barrier.Done()
+		barrier.Wait() // releases only when every processor is in its body
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != nCPU {
+		t.Fatalf("ran %d processes, want %d", ran, nCPU)
+	}
+	cpus := make(map[int32]bool)
+	for _, e := range rec.Events() {
+		if e.Kind == trace.EvProcessSwap && e.CPU > 0 {
+			cpus[e.CPU-1] = true
+		}
+	}
+	for i := int32(0); i < nCPU; i++ {
+		if !cpus[i] {
+			t.Errorf("no process-swap event attributed to processor %d; got %v", i, cpus)
+		}
+	}
+	if bad := k.Procs.Audit(); len(bad) != 0 {
+		t.Errorf("process audit: %v", bad)
+	}
+}

@@ -18,10 +18,15 @@ package coreseg
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"multics/internal/hw"
+	"multics/internal/lockrank"
 )
+
+// ModuleName is this manager's name in the kernel dependency graph:
+// the bottom module of the lattice, so its lock ranks below every
+// other manager's.
+const ModuleName = "core-segment-manager"
 
 // ErrSealed is returned by Allocate after initialization has
 // completed: the set of core segments is fixed for the life of the
@@ -80,7 +85,7 @@ type Manager struct {
 	mem   *hw.Memory
 	meter *hw.CostMeter
 
-	mu     sync.Mutex
+	mu     lockrank.Mutex
 	next   int // next unallocated frame
 	limit  int // frames reserved for core segments
 	sealed bool
@@ -94,7 +99,9 @@ func NewManager(mem *hw.Memory, limitFrames int, meter *hw.CostMeter) (*Manager,
 	if limitFrames <= 0 || limitFrames > mem.Frames() {
 		return nil, fmt.Errorf("coreseg: limit of %d frames in a memory of %d", limitFrames, mem.Frames())
 	}
-	return &Manager{mem: mem, meter: meter, limit: limitFrames, segs: make(map[string]*Segment)}, nil
+	m := &Manager{mem: mem, meter: meter, limit: limitFrames, segs: make(map[string]*Segment)}
+	m.mu.Init(ModuleName)
+	return m, nil
 }
 
 // Allocate creates a core segment of at least words words (rounded up

@@ -30,16 +30,21 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"multics/internal/aim"
 	"multics/internal/disk"
 	"multics/internal/hw"
 	"multics/internal/knownseg"
+	"multics/internal/lockrank"
 	"multics/internal/quota"
 	"multics/internal/segment"
 	"multics/internal/upsignal"
 )
+
+// ModuleName is this manager's name in the kernel dependency graph.
+// It doubles as the upward-signal target for relocation notices
+// (knownseg.RelocationTarget names it).
+const ModuleName = "directory-manager"
 
 // EntryWords is the directory-segment storage consumed per entry, so
 // that directories grow (and charge quota) as they fill.
@@ -122,7 +127,7 @@ type Manager struct {
 	// Lang is the implementation language for the cost model.
 	Lang hw.Language
 
-	mu       sync.Mutex
+	mu       lockrank.Mutex
 	ids      idGen
 	root     *dirNode
 	rootID   Identifier
@@ -168,6 +173,7 @@ func NewManager(segs *segment.Manager, ksm *knownseg.Manager, cells *quota.Manag
 		parentOf: make(map[Identifier]*dirNode),
 		byUID:    make(map[uint64]*Entry),
 	}
+	m.mu.Init(ModuleName)
 	uid := segs.NewUID()
 	// The root is its own quota directory, so its pages govern
 	// themselves: gov is its own uid.

@@ -1,0 +1,32 @@
+// Package goid identifies the current goroutine.
+//
+// Go deliberately provides no goroutine-local storage, but two kernel
+// mechanisms need to know "which execution context am I in": the
+// ranked-lock checker keeps a per-goroutine stack of held locks, and
+// the trace recorder attributes events to the simulated processor a
+// goroutine is driving. Both key their side tables by the goroutine
+// id parsed from the runtime's stack header — the standard trick,
+// confined to this one package so the rest of the kernel never sees
+// it.
+package goid
+
+import "runtime"
+
+// ID returns the current goroutine's id. It costs one shallow
+// runtime.Stack call (a few hundred nanoseconds), so callers on hot
+// paths should provide a way to switch themselves off.
+func ID() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// The header is "goroutine 123 [running]:..."; digits start at
+	// offset 10.
+	var id uint64
+	for i := 10; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

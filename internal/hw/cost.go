@@ -1,6 +1,10 @@
 package hw
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"multics/internal/trace"
+)
 
 // Simulated cycle costs for the operation classes the paper's
 // performance discussion turns on. The absolute values are arbitrary;
@@ -69,18 +73,39 @@ func BodyCycles(base int64, lang Language) int64 {
 	return base
 }
 
+// MeterCPUs is the number of per-processor cycle counters a CostMeter
+// carries; processor ids wrap modulo it.
+const MeterCPUs = 64
+
 // A CostMeter accumulates simulated machine cycles. It is safe for
 // concurrent use (the multiprocessor fault tests run two simulated
-// processors against one meter).
+// processors against one meter). Alongside the global total it keeps
+// a per-processor account: cycles accrued by a goroutine bound to a
+// simulated processor (trace.BindCPU) are also charged to that
+// processor, so a parallel run's makespan — the busiest processor's
+// cycles — is measurable. Unbound accrual (the deterministic
+// single-processor mode never binds) costs one extra atomic load.
 type CostMeter struct {
 	cycles atomic.Int64
+	percpu [MeterCPUs]atomic.Int64
 }
 
 // Add accrues n simulated cycles.
 func (m *CostMeter) Add(n int64) {
 	if m != nil {
 		m.cycles.Add(n)
+		if c := trace.BoundCPU(); c > 0 {
+			m.percpu[int(c-1)%MeterCPUs].Add(n)
+		}
 	}
+}
+
+// CPUCycles reports the cycles charged while bound to processor id.
+func (m *CostMeter) CPUCycles(id int) int64 {
+	if m == nil || id < 0 {
+		return 0
+	}
+	return m.percpu[id%MeterCPUs].Load()
 }
 
 // AddBody accrues the cost of an algorithm body of base assembly
@@ -97,10 +122,13 @@ func (m *CostMeter) Cycles() int64 {
 	return m.cycles.Load()
 }
 
-// Reset zeroes the meter.
+// Reset zeroes the meter, including every per-processor account.
 func (m *CostMeter) Reset() {
 	if m != nil {
 		m.cycles.Store(0)
+		for i := range m.percpu {
+			m.percpu[i].Store(0)
+		}
 	}
 }
 

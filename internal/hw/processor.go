@@ -101,7 +101,7 @@ func (p *Processor) emitFault(f *Fault, cost int64) {
 		mod = UnattributedModule
 	}
 	p.Trace.Emit(trace.Event{
-		Kind: trace.EvFault, Module: mod, Cost: cost,
+		Kind: trace.EvFault, Module: mod, CPU: int32(p.ID) + 1, Cost: cost,
 		Arg0: int64(f.Kind), Arg1: int64(f.Seg), Arg2: int64(f.Page),
 	})
 }
@@ -117,7 +117,7 @@ func (p *Processor) emitCross(from, to int) {
 		mod = UnattributedModule
 	}
 	p.Trace.Emit(trace.Event{
-		Kind: trace.EvGateCross, Module: mod, Cost: CycRingCross,
+		Kind: trace.EvGateCross, Module: mod, CPU: int32(p.ID) + 1, Cost: CycRingCross,
 		Arg0: int64(from), Arg1: int64(to),
 	})
 }

@@ -23,14 +23,20 @@ package knownseg
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"multics/internal/disk"
 	"multics/internal/hw"
+	"multics/internal/lockrank"
 	"multics/internal/quota"
 	"multics/internal/segment"
 	"multics/internal/upsignal"
 )
+
+// ModuleName is this manager's name in the kernel dependency graph.
+// The manager's own lock takes the layer's high sub-rank and every
+// per-process KST lock the low one, so a KST may be locked while the
+// manager lock is held but never the other way round.
+const ModuleName = "known-segment-manager"
 
 // RelocationTarget is the upward-signal target name of the directory
 // manager's relocation handler.
@@ -73,7 +79,7 @@ type Entry struct {
 
 // A KST is one process's known segment table.
 type KST struct {
-	mu      sync.Mutex
+	mu      lockrank.Mutex
 	base    int
 	entries []*Entry
 	byUID   map[uint64]int
@@ -158,14 +164,16 @@ type Manager struct {
 	signals *upsignal.Dispatcher
 	meter   *hw.CostMeter
 
-	mu   sync.Mutex
+	mu   lockrank.Mutex
 	ksts []*KST
 }
 
 // NewManager returns a known segment manager over the given segment
 // manager and upward-signal dispatcher.
 func NewManager(segs *segment.Manager, signals *upsignal.Dispatcher, meter *hw.CostMeter) *Manager {
-	return &Manager{segs: segs, signals: signals, meter: meter}
+	m := &Manager{segs: segs, signals: signals, meter: meter}
+	m.mu.InitSub(ModuleName, 1)
+	return m
 }
 
 // NewKST creates a process's known segment table covering segment
@@ -175,6 +183,7 @@ func (m *Manager) NewKST(base, capacity int) (*KST, error) {
 		return nil, fmt.Errorf("knownseg: KST base %d capacity %d", base, capacity)
 	}
 	k := &KST{base: base, entries: make([]*Entry, capacity), byUID: make(map[uint64]int)}
+	k.mu.InitSub(ModuleName, 0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.ksts = append(m.ksts, k)

@@ -1,0 +1,160 @@
+package lockrank
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func install(t *testing.T) {
+	t.Helper()
+	SetLayers([][]string{
+		{"t-bottom"},
+		{"t-middle"},
+		{"t-top"},
+	})
+}
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a lockrank panic containing %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v does not mention %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestDescendingOrderAllowed(t *testing.T) {
+	install(t)
+	var top, mid, bot Mutex
+	top.Init("t-top")
+	mid.Init("t-middle")
+	bot.Init("t-bottom")
+
+	top.Lock()
+	mid.Lock()
+	bot.Lock()
+	bot.Unlock()
+	mid.Unlock()
+	top.Unlock()
+	if held := HeldByCaller(); len(held) != 0 {
+		t.Fatalf("held stack not empty after release: %v", held)
+	}
+}
+
+func TestAscendingOrderPanics(t *testing.T) {
+	install(t)
+	var top, bot Mutex
+	top.Init("t-top")
+	bot.Init("t-bottom")
+
+	bot.Lock()
+	defer bot.Unlock()
+	mustPanic(t, "t-top", func() { top.Lock() })
+}
+
+func TestEqualRankPanics(t *testing.T) {
+	install(t)
+	var a, b Mutex
+	a.Init("t-middle")
+	b.Init("t-middle")
+
+	a.Lock()
+	defer a.Unlock()
+	mustPanic(t, "t-middle", func() { b.Lock() })
+}
+
+func TestSubRanksOrderWithinModule(t *testing.T) {
+	install(t)
+	var primary, inner Mutex
+	primary.InitSub("t-middle", 1)
+	inner.InitSub("t-middle", 0)
+
+	// Primary first, inner nested below it: legal.
+	primary.Lock()
+	inner.Lock()
+	inner.Unlock()
+	primary.Unlock()
+
+	// The other way round is an ascent.
+	inner.Lock()
+	defer inner.Unlock()
+	mustPanic(t, "t-middle#1", func() { primary.Lock() })
+}
+
+func TestUnrankedAndUncheckedAreInert(t *testing.T) {
+	install(t)
+	var zero Mutex // never initialized: plain mutex
+	var bot, top Mutex
+	bot.Init("t-bottom")
+	top.Init("t-top")
+
+	bot.Lock()
+	zero.Lock()
+	zero.Unlock()
+	bot.Unlock()
+
+	prev := SetChecking(false)
+	defer SetChecking(prev)
+	// With checking off the ascent is tolerated (release build).
+	bot.Lock()
+	top.Lock()
+	top.Unlock()
+	bot.Unlock()
+}
+
+func TestRanksFollowLayers(t *testing.T) {
+	install(t)
+	var mid Mutex
+	mid.InitSub("t-middle", 2)
+	if got, want := mid.Rank(), Rank(1*MaxSubs+2); got != want {
+		t.Fatalf("rank = %d, want %d", got, want)
+	}
+	if got := RankOf("t-top", 0); got != Rank(2*MaxSubs) {
+		t.Fatalf("RankOf(t-top, 0) = %d, want %d", got, 2*MaxSubs)
+	}
+	if got := RankOf("t-unknown", 0); got != Unranked {
+		t.Fatalf("RankOf(t-unknown) = %d, want Unranked", got)
+	}
+
+	found := false
+	for _, e := range Table() {
+		if e.Module == "t-middle" && e.Sub == 2 {
+			found = true
+			if e.Layer != 1 || e.Rank != Rank(1*MaxSubs+2) {
+				t.Fatalf("table entry %+v has wrong layer/rank", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("declared lock missing from Table()")
+	}
+}
+
+func TestConcurrentDisjointGoroutines(t *testing.T) {
+	install(t)
+	var bot Mutex
+	bot.Init("t-bottom")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var top Mutex
+			top.Init("t-top")
+			for j := 0; j < 200; j++ {
+				top.Lock()
+				bot.Lock()
+				bot.Unlock()
+				top.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -40,11 +40,11 @@ package pageframe
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"multics/internal/disk"
 	"multics/internal/eventcount"
 	"multics/internal/hw"
+	"multics/internal/lockrank"
 	"multics/internal/trace"
 	"multics/internal/vproc"
 )
@@ -131,7 +131,7 @@ type Manager struct {
 	// Daemons selects the multi-process write-back organization.
 	Daemons bool
 
-	mu      sync.Mutex
+	mu      lockrank.Mutex
 	sink    trace.Sink
 	first   int
 	frames  []frameInfo // index 0 is absolute frame `first`
@@ -181,6 +181,7 @@ func NewManager(mem *hw.Memory, firstFrame int, vps *vproc.Manager, meter *hw.Co
 		unlocks: make(map[descKey]*eventcount.Eventcount),
 		Lang:    hw.PLI,
 	}
+	m.mu.Init(ModuleName)
 	for f := mem.Frames() - 1; f >= firstFrame; f-- {
 		m.free = append(m.free, f)
 	}

@@ -21,11 +21,11 @@ package quota
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"multics/internal/coreseg"
 	"multics/internal/disk"
 	"multics/internal/hw"
+	"multics/internal/lockrank"
 	"multics/internal/trace"
 )
 
@@ -61,7 +61,7 @@ type Manager struct {
 	table *coreseg.Segment
 	meter *hw.CostMeter
 
-	mu    sync.Mutex
+	mu    lockrank.Mutex
 	sink  trace.Sink
 	cells map[CellName]*cell
 	slots []bool // slot occupancy in the core-segment table
@@ -80,13 +80,15 @@ func NewManager(vols *disk.Volumes, table *coreseg.Segment, meter *hw.CostMeter)
 	if table == nil || table.Words() < CellWords {
 		return nil, errors.New("quota: cache table segment too small")
 	}
-	return &Manager{
+	m := &Manager{
 		vols:  vols,
 		table: table,
 		meter: meter,
 		cells: make(map[CellName]*cell),
 		slots: make([]bool, table.Words()/CellWords),
-	}, nil
+	}
+	m.mu.Init(ModuleName)
+	return m, nil
 }
 
 // Capacity reports how many cells the primary-memory table can hold.

@@ -30,13 +30,17 @@ package segment
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"multics/internal/disk"
 	"multics/internal/hw"
+	"multics/internal/lockrank"
 	"multics/internal/pageframe"
 	"multics/internal/quota"
 )
+
+// ModuleName is this manager's name in the kernel dependency graph;
+// its lock ranks at the active-segment layer of the lattice.
+const ModuleName = "active-segment-manager"
 
 // MaxPages is the architectural maximum segment length in pages
 // (256K words).
@@ -123,7 +127,7 @@ type Manager struct {
 	ast    astStore
 	meter  *hw.CostMeter
 
-	mu      sync.Mutex
+	mu      lockrank.Mutex
 	byUID   map[uint64]*ASTE
 	slots   []bool
 	nextUID uint64
@@ -135,7 +139,7 @@ func NewManager(vols *disk.Volumes, frames *pageframe.Manager, cells *quota.Mana
 	if ast == nil || ast.Words() < ASTEWords {
 		return nil, errors.New("segment: AST core segment too small")
 	}
-	return &Manager{
+	m := &Manager{
 		vols:    vols,
 		frames:  frames,
 		cells:   cells,
@@ -144,7 +148,9 @@ func NewManager(vols *disk.Volumes, frames *pageframe.Manager, cells *quota.Mana
 		byUID:   make(map[uint64]*ASTE),
 		slots:   make([]bool, ast.Words()/ASTEWords),
 		nextUID: 1,
-	}, nil
+	}
+	m.mu.Init(ModuleName)
+	return m, nil
 }
 
 // Capacity reports the fixed number of AST entries.

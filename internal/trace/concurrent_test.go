@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentEmitGapFreeSeq drives the recorder from many
+// goroutines at once — the multiprocessor kernel's emission pattern —
+// and requires the ring's sequence numbering to stay gap-free: every
+// event gets a distinct consecutive sequence number and none is lost.
+func TestConcurrentEmitGapFreeSeq(t *testing.T) {
+	const emitters, perEmitter = 8, 1000
+	r := NewRecorder(emitters*perEmitter, nil)
+	r.Register("m")
+	var wg sync.WaitGroup
+	for i := 0; i < emitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perEmitter; j++ {
+				r.Emit(Event{Kind: EvIPC, Module: "m", Arg0: int64(i), Arg1: int64(j)})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	ev := r.Events()
+	if len(ev) != emitters*perEmitter {
+		t.Fatalf("retained %d events, want %d", len(ev), emitters*perEmitter)
+	}
+	for i, e := range ev {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d: numbering has a gap or a duplicate", i, e.Seq)
+		}
+	}
+	s := r.Snapshot()
+	if s.Events != emitters*perEmitter || s.Dropped != 0 {
+		t.Fatalf("snapshot: %d events, %d dropped; want %d, 0", s.Events, s.Dropped, emitters*perEmitter)
+	}
+	if s.Modules["m"].Ops[EvIPC] != emitters*perEmitter {
+		t.Fatalf("per-module count %d, want %d", s.Modules["m"].Ops[EvIPC], emitters*perEmitter)
+	}
+}
+
+// TestBindCPUAttribution checks that events emitted by a goroutine
+// bound to a processor carry that processor's id, that unbound
+// emission stays unattributed, and that an emitter's own stamp wins.
+func TestBindCPUAttribution(t *testing.T) {
+	r := NewRecorder(64, nil)
+	r.Register("m")
+
+	r.Emit(Event{Kind: EvIPC, Module: "m"})
+
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < 3; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			unbind := BindCPU(cpu)
+			defer unbind()
+			r.Emit(Event{Kind: EvDispatch, Module: "m", Arg0: int64(cpu)})
+		}(cpu)
+	}
+	wg.Wait()
+
+	unbind := BindCPU(5)
+	r.Emit(Event{Kind: EvFault, Module: "m", CPU: 2}) // hardware stamped CPU 1 itself
+	unbind()
+	r.Emit(Event{Kind: EvIPC, Module: "m"}) // unbound again
+
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case EvIPC:
+			if e.CPU != 0 {
+				t.Errorf("unbound event attributed to cpu %d", e.CPU-1)
+			}
+		case EvDispatch:
+			if e.CPU != int32(e.Arg0)+1 {
+				t.Errorf("bound event for cpu %d carries cpu stamp %d", e.Arg0, e.CPU)
+			}
+		case EvFault:
+			if e.CPU != 2 {
+				t.Errorf("pre-stamped event overwritten: cpu stamp %d", e.CPU)
+			}
+		}
+	}
+}

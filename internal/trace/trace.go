@@ -142,6 +142,12 @@ type Event struct {
 	// Cycle is the simulated cycle clock when the event was
 	// emitted.
 	Cycle int64
+	// CPU identifies the emitting processor, as processor id plus
+	// one; zero means the event was emitted outside any processor's
+	// dispatch (boot, daemons not bound to a CPU, tests). The
+	// hardware stamps its own events; manager events are stamped
+	// from the goroutine's BindCPU binding by the recorder.
+	CPU int32
 	// Kind classifies the event.
 	Kind Kind
 	// Module is the emitting module's name in the dependency
@@ -155,8 +161,12 @@ type Event struct {
 }
 
 func (e Event) String() string {
-	return fmt.Sprintf("%8d %10d %-13s %-26s cost=%-5d %d %d %d",
-		e.Seq, e.Cycle, e.Kind, e.Module, e.Cost, e.Arg0, e.Arg1, e.Arg2)
+	cpu := "-"
+	if e.CPU > 0 {
+		cpu = fmt.Sprintf("%d", e.CPU-1)
+	}
+	return fmt.Sprintf("%8d %10d p%-2s %-13s %-26s cost=%-5d %d %d %d",
+		e.Seq, e.Cycle, cpu, e.Kind, e.Module, e.Cost, e.Arg0, e.Arg1, e.Arg2)
 }
 
 // A Sink consumes kernel events. Instrumented modules hold a Sink
@@ -276,6 +286,9 @@ func (r *Recorder) Register(names ...string) {
 func (r *Recorder) Emit(e Event) {
 	if r == nil {
 		return
+	}
+	if e.CPU == 0 {
+		e.CPU = boundCPU()
 	}
 	r.mu.Lock()
 	r.seq++

@@ -24,12 +24,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"multics/internal/aim"
 	"multics/internal/coreseg"
 	"multics/internal/eventcount"
 	"multics/internal/hw"
 	"multics/internal/knownseg"
+	"multics/internal/lockrank"
 	"multics/internal/segment"
 	"multics/internal/trace"
 	"multics/internal/vproc"
@@ -141,7 +143,7 @@ type Message struct {
 // eventcount counts posted messages, so the upper-level multiplexer
 // awaits it without the poster knowing who is listening.
 type Queue struct {
-	mu     sync.Mutex
+	mu     lockrank.Mutex
 	seg    *coreseg.Segment
 	cap    int
 	head   int
@@ -169,7 +171,12 @@ func NewQueue(seg *coreseg.Segment, meter *hw.CostMeter) (*Queue, error) {
 	if seg == nil || seg.Words() < MsgWords {
 		return nil, errors.New("uproc: queue segment too small")
 	}
-	return &Queue{seg: seg, cap: seg.Words() / MsgWords, meter: meter}, nil
+	q := &Queue{seg: seg, cap: seg.Words() / MsgWords, meter: meter}
+	// The queue lock takes the layer's low sub-rank: the manager may
+	// post to the queue, but the queue never calls up into the
+	// manager.
+	q.mu.InitSub(ModuleName, 0)
+	return q, nil
 }
 
 // Cap reports the fixed message capacity.
@@ -255,7 +262,7 @@ type Manager struct {
 	// StateCell is the quota cell charged for process states.
 	StateCell segment.CellRef
 
-	mu      sync.Mutex
+	mu      lockrank.Mutex
 	sink    trace.Sink
 	nextPID uint64
 	procs   map[uint64]*Process
@@ -277,7 +284,7 @@ func (m *Manager) SetTrace(s trace.Sink) {
 // NewManager returns a user process manager multiplexing vps and
 // posting low-level events through queue.
 func NewManager(vps *vproc.Manager, segs *segment.Manager, ksm *knownseg.Manager, queue *Queue, meter *hw.CostMeter) *Manager {
-	return &Manager{
+	m := &Manager{
 		vps:     vps,
 		segs:    segs,
 		ksm:     ksm,
@@ -288,6 +295,8 @@ func NewManager(vps *vproc.Manager, segs *segment.Manager, ksm *knownseg.Manager
 		nextPID: 1,
 		procs:   make(map[uint64]*Process),
 	}
+	m.mu.InitSub(ModuleName, 1)
+	return m
 }
 
 // Create makes a new user process for the authenticated principal at
@@ -584,4 +593,50 @@ func (m *Manager) RunQuantum(n int, body func(*Process)) (int, error) {
 		ran++
 	}
 	return ran, nil
+}
+
+// RunQuantumParallel is the true-multiprocessor form of RunQuantum:
+// one goroutine per processor, each dispatching ready processes onto
+// its own virtual processor, running body with the process bound to
+// that processor, and preempting. Each goroutine runs at most n
+// processes; a goroutine stops when the ready queue (or the free
+// virtual-processor pool) drains. Trace events emitted inside body
+// are attributed to the running processor. The total across
+// processors is returned with the first preemption error, if any.
+func (m *Manager) RunQuantumParallel(cpus []*hw.Processor, n int, body func(cpu *hw.Processor, p *Process)) (int, error) {
+	var (
+		wg    sync.WaitGroup
+		total atomic.Int64
+		errMu sync.Mutex
+		first error
+	)
+	for _, cpu := range cpus {
+		wg.Add(1)
+		go func(cpu *hw.Processor) {
+			defer wg.Done()
+			defer trace.BindCPU(cpu.ID)()
+			for i := 0; i < n; i++ {
+				p, err := m.Dispatch()
+				if err != nil {
+					return
+				}
+				if body != nil {
+					body(cpu, p)
+				}
+				if err := m.Preempt(p); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					return
+				}
+				total.Add(1)
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return int(total.Load()), first
 }

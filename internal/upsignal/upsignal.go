@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"multics/internal/goid"
 	"multics/internal/trace"
 )
 
@@ -38,12 +39,20 @@ type Dispatcher struct {
 	mu       sync.Mutex
 	handlers map[string]Handler
 	pending  []Signal
-	// inFlight guards against a handler being run re-entrantly from
-	// inside a lower-level call chain.
-	dispatching bool
-	raised      int64
-	handled     int64
-	sink        trace.Sink
+	// dispatcher is the goroutine id currently running Dispatch;
+	// it guards against a handler being run re-entrantly from
+	// inside its own lower-level call chain. Dispatch calls from
+	// other processors are not re-entrance — they serialize on
+	// dispatchMu instead.
+	dispatcher uint64
+	raised     int64
+	handled    int64
+	sink       trace.Sink
+
+	// dispatchMu serializes Dispatch across processors, so handlers
+	// run one at a time even when several CPUs unwind fault chains
+	// concurrently.
+	dispatchMu sync.Mutex
 }
 
 // NewDispatcher returns an empty dispatcher.
@@ -110,22 +119,28 @@ func (d *Dispatcher) Stats() (raised, handled int64) {
 // (handlers may raise further signals) and returns the number handled.
 // The kernel calls it after every downward call chain has unwound. A
 // handler error stops dispatch and is returned; remaining signals stay
-// queued. Dispatch is not re-entrant: a nested call (a handler
-// signalling and then dispatching) is a structural error and panics,
-// because it would put activation records of lower modules under the
-// upper handler.
+// queued. Dispatch is not re-entrant within one call chain: a nested
+// call (a handler signalling and then dispatching) is a structural
+// error and panics, because it would put activation records of lower
+// modules under the upper handler. Concurrent Dispatch calls from
+// other processors are legal and simply wait their turn.
 func (d *Dispatcher) Dispatch() (int, error) {
+	g := goid.ID()
 	d.mu.Lock()
-	if d.dispatching {
+	if d.dispatcher == g {
 		d.mu.Unlock()
 		panic("upsignal: re-entrant Dispatch — a lower module is waiting on an upper handler")
 	}
-	d.dispatching = true
+	d.mu.Unlock()
+	d.dispatchMu.Lock()
+	d.mu.Lock()
+	d.dispatcher = g
 	d.mu.Unlock()
 	defer func() {
 		d.mu.Lock()
-		d.dispatching = false
+		d.dispatcher = 0
 		d.mu.Unlock()
+		d.dispatchMu.Unlock()
 	}()
 
 	n := 0

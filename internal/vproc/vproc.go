@@ -22,11 +22,11 @@ package vproc
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"multics/internal/coreseg"
 	"multics/internal/eventcount"
 	"multics/internal/hw"
+	"multics/internal/lockrank"
 	"multics/internal/trace"
 )
 
@@ -92,7 +92,7 @@ func (v *VP) User() uint64 { return v.user }
 
 // A Manager owns the fixed set of virtual processors.
 type Manager struct {
-	mu     sync.Mutex
+	mu     lockrank.Mutex
 	vps    []*VP
 	byMod  map[string]*VP
 	states *coreseg.Segment
@@ -122,6 +122,7 @@ func NewManager(n int, states *coreseg.Segment, meter *hw.CostMeter) (*Manager, 
 		return nil, fmt.Errorf("vproc: state segment too small for %d virtual processors", n)
 	}
 	m := &Manager{states: states, meter: meter, byMod: make(map[string]*VP)}
+	m.mu.Init(ModuleName)
 	for i := 0; i < n; i++ {
 		vp := &VP{id: i}
 		m.vps = append(m.vps, vp)
