@@ -12,9 +12,13 @@
 //	P8 scheduler one-level vs two-level  (paper: about the same)
 //	P9 fault-storm cycle attribution     (the meters, per module)
 //	P10 parallel speedup                 (1/2/4 processors, makespan)
+//	P11 associative memory               (translation cache on/off)
 //
 // Every comparison is also written machine-readable to the path named
-// by -json (default BENCH_kernel.json; empty disables).
+// by -json (default BENCH_kernel.json; empty disables). With
+// -compare OLD.json the run diffs its cycle figures against a previous
+// report and exits non-zero when any has regressed by more than 10%,
+// so a committed baseline turns the benchmark into a gate.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 
 	"multics/internal/aim"
@@ -33,6 +38,7 @@ import (
 	"multics/internal/linker"
 	"multics/internal/lockrank"
 	"multics/internal/netmux"
+	"multics/internal/pageframe"
 	"multics/internal/trace"
 	"multics/internal/uproc"
 )
@@ -52,6 +58,7 @@ func record(name string, metrics map[string]any) {
 
 func main() {
 	jsonPath := flag.String("json", "BENCH_kernel.json", "write machine-readable results to this path (empty disables)")
+	comparePath := flag.String("compare", "", "diff cycle figures against this previous report; exit non-zero on a >10% regression")
 	flag.Parse()
 	fmt.Println("kernelbench: deterministic simulated-cycle comparisons")
 	fmt.Println()
@@ -65,11 +72,91 @@ func main() {
 	p8()
 	p9()
 	p10()
+	p11()
 	if *jsonPath != "" {
 		out, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
 		check(err)
 		check(os.WriteFile(*jsonPath, append(out, '\n'), 0o644))
 		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
+	if *comparePath != "" {
+		if !compare(*comparePath) {
+			os.Exit(1)
+		}
+	}
+}
+
+// compare diffs every cycle-denominated figure of this run against the
+// report at path and reports whether the run is free of regressions
+// beyond 10%. Figures are matched by benchmark name and metric path,
+// so reordering or adding benchmarks does not misalign the diff.
+func compare(path string) bool {
+	oldRaw, err := os.ReadFile(path)
+	check(err)
+	var oldDoc any
+	check(json.Unmarshal(oldRaw, &oldDoc))
+	// Round-trip the fresh results through JSON so both sides flatten
+	// from the same generic shape.
+	newRaw, err := json.Marshal(map[string]any{"benchmarks": results})
+	check(err)
+	var newDoc any
+	check(json.Unmarshal(newRaw, &newDoc))
+	oldCyc := make(map[string]float64)
+	newCyc := make(map[string]float64)
+	cycleLeaves("", oldDoc, oldCyc)
+	cycleLeaves("", newDoc, newCyc)
+	const tolerance = 1.10
+	regressed := 0
+	compared := 0
+	for key, old := range oldCyc {
+		now, ok := newCyc[key]
+		if !ok || old <= 0 {
+			continue
+		}
+		compared++
+		if now > old*tolerance {
+			fmt.Printf("REGRESSION %s: %.0f -> %.0f cycles (%+.1f%%)\n", key, old, now, 100*(now-old)/old)
+			regressed++
+		}
+	}
+	if regressed > 0 {
+		fmt.Printf("kernelbench: %d of %d cycle figures regressed more than 10%% vs %s\n", regressed, compared, path)
+		return false
+	}
+	fmt.Printf("compared %d cycle figures against %s: no regression beyond 10%%\n", compared, path)
+	return true
+}
+
+// cycleLeaves collects every numeric leaf whose key mentions cycles,
+// keyed by its path. Array elements carrying a "name" field (the
+// benchmark list) are keyed by that name instead of their index.
+// Makespan figures are skipped: multiprocessor storms run on real
+// goroutines, so which processor pays a grouped write-back (and hence
+// the per-processor maximum) varies a few percent run to run — gating
+// on them would make the comparison flaky. Every serial cycle figure,
+// including the P11 translation-cycle pair, is deterministic and kept.
+func cycleLeaves(path string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, v2 := range x {
+			cycleLeaves(path+"/"+k, v2, out)
+		}
+	case []any:
+		for i, v2 := range x {
+			key := fmt.Sprintf("%d", i)
+			if m, ok := v2.(map[string]any); ok {
+				if n, ok := m["name"].(string); ok {
+					key = n
+				}
+			}
+			cycleLeaves(path+"/"+key, v2, out)
+		}
+	case float64:
+		parts := strings.Split(path, "/")
+		leaf := strings.ToLower(parts[len(parts)-1])
+		if strings.Contains(leaf, "cycles") && !strings.Contains(leaf, "makespan") {
+			out[path] = x
+		}
 	}
 }
 
@@ -375,7 +462,7 @@ func p10() {
 	var base int64
 	var rows []map[string]any
 	for _, nCPU := range []int{1, 2, 4} {
-		makespan, ops := parallelStorm(nCPU, totalRounds, pages)
+		makespan, ops := parallelStorm(nCPU, totalRounds, pages, false)
 		speedup := 1.0
 		if base == 0 {
 			base = makespan
@@ -393,11 +480,12 @@ func p10() {
 // the paging+quota workload, split evenly across the processors, each
 // worker against its own quota directory. It returns the makespan —
 // the maximum per-processor cycle account — and the rounds run.
-func parallelStorm(nCPU, totalRounds, pages int) (int64, int) {
+func parallelStorm(nCPU, totalRounds, pages int, assocOff bool) (int64, int) {
 	k := bootKernel(func(c *core.Config) {
 		c.Processors = nCPU
 		c.MemFrames = 48 // pressure enough that pages cycle through disk
 		c.WiredFrames = 8
+		c.AssocOff = assocOff
 	})
 	type worker struct {
 		cpu   *hw.Processor
@@ -447,4 +535,70 @@ func parallelStorm(nCPU, totalRounds, pages int) (int64, int) {
 		}
 	}
 	return makespan, rounds * nCPU
+}
+
+// p11 measures the associative memory two ways. First, a single
+// processor re-references a resident working set: with the cache off
+// every reference walks the descriptor tables (CycTableWalk); with it
+// on the re-references hit (CycAssocHit), and the processor's own
+// translation meter shows the cycles saved. Second, the P10 fault
+// storm reruns on 1, 2 and 4 processors with the cache on and off: the
+// on-configuration pays the shootdown broadcasts but keeps the fast
+// path, and the makespans show the net effect under real contention.
+func p11() {
+	fmt.Println("P11 associative memory (per-processor SDW/PTW cache):")
+	prev := lockrank.SetChecking(false)
+	defer lockrank.SetChecking(prev)
+	reReference := func(assocOff bool) (xlatCycles int64, stats pageframe.Stats) {
+		k := bootKernel(func(c *core.Config) { c.AssocOff = assocOff })
+		p, err := k.CreateProcess("u.x", aim.Bottom)
+		check(err)
+		cpu := k.CPUs[0]
+		k.Attach(cpu, p)
+		_, err = k.CreateFile(cpu, p, nil, "hot", nil, aim.Bottom)
+		check(err)
+		segno, err := k.OpenPath(cpu, p, []string{"hot"})
+		check(err)
+		const pages = 16 // resident throughout: re-references, not faults
+		for i := 0; i < pages; i++ {
+			check(k.Write(cpu, p, segno, i*hw.PageWords, hw.Word(i+1)))
+		}
+		_, start := cpu.TranslationStats()
+		for r := 0; r < 400; r++ {
+			_, err := k.Read(cpu, p, segno, (r%pages)*hw.PageWords+r%hw.PageWords)
+			check(err)
+		}
+		_, end := cpu.TranslationStats()
+		return end - start, k.Frames.Stats()
+	}
+	onCycles, onStats := reReference(false)
+	offCycles, _ := reReference(true)
+	hitRate := 0.0
+	if total := onStats.AssocHits + onStats.AssocMisses; total > 0 {
+		hitRate = float64(onStats.AssocHits) / float64(total)
+	}
+	fmt.Printf("    re-reference translation cycles: cache on %6d, off %6d (x%.1f saved); hit rate %.1f%% (%d hits, %d misses)\n",
+		onCycles, offCycles, float64(offCycles)/float64(onCycles), 100*hitRate, onStats.AssocHits, onStats.AssocMisses)
+	metrics := map[string]any{
+		"re_reference_cache_on_translation_cycles":  onCycles,
+		"re_reference_cache_off_translation_cycles": offCycles,
+		"translation_speedup":                       float64(offCycles) / float64(onCycles),
+		"hits":                                      onStats.AssocHits,
+		"misses":                                    onStats.AssocMisses,
+		"hit_rate":                                  hitRate,
+	}
+	var rows []map[string]any
+	for _, nCPU := range []int{1, 2, 4} {
+		on, _ := parallelStorm(nCPU, 192, 8, false)
+		off, _ := parallelStorm(nCPU, 192, 8, true)
+		fmt.Printf("    %d-processor fault-storm makespan: cache on %9d cyc, off %9d cyc (%s)\n",
+			nCPU, on, off, ratio(on, off))
+		rows = append(rows, map[string]any{
+			"processors":               nCPU,
+			"makespan_cycles_cache_on": on, "makespan_cycles_cache_off": off,
+		})
+	}
+	fmt.Println("    [6180 hardware: the associative memory absorbs the descriptor re-fetches; shootdowns keep it coherent]")
+	metrics["smp_makespan"] = rows
+	record("P11 associative memory", metrics)
 }

@@ -9,11 +9,18 @@
 // It exits non-zero if any event arrived with a module name that is
 // not registered in the kernel dependency graph — the cheap lint
 // that instrumentation stays in sync with internal/deps.
+//
+// With -kind the printed sample is restricted to the named event
+// kinds (comma-separated); -kinds alone lists every kind the tracer
+// knows, including the associative-memory triple (assoc-hit,
+// assoc-miss, assoc-clear) added with the translation cache.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"multics/internal/aim"
 	"multics/internal/audit"
@@ -27,7 +34,55 @@ import (
 // eventSample is how many trailing events of the stream are printed.
 const eventSample = 25
 
+// kindHelp documents the event kinds that deserve more than their
+// name; everything else is self-describing.
+var kindHelp = map[string]string{
+	"assoc-hit":   "translation served by the processor's associative memory (arg0 segno, arg1 page)",
+	"assoc-miss":  "translation walked the descriptor tables and filled the cache (arg0 segno, arg1 page)",
+	"assoc-clear": "associative entries invalidated (arg0: 0 page shootdown, 1 segment shootdown, 2 process switch; arg1 page/segno or -1; arg2 entries cleared)",
+}
+
+// kindNames lists every event kind the tracer can emit or filter on.
+func kindNames() []string {
+	names := make([]string, 0, trace.NumKinds)
+	for i := 0; i < trace.NumKinds; i++ {
+		names = append(names, trace.Kind(i).String())
+	}
+	return names
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "usage: kerneltrace [-kind k1,k2,...] [-kinds]\n\n")
+	fmt.Fprintf(flag.CommandLine.Output(), "Boots a traced kernel, runs a representative workload, and prints the\nevent stream sample, the per-module cycle table, and Prometheus lines.\n\n")
+	flag.PrintDefaults()
+	fmt.Fprintf(flag.CommandLine.Output(), "\nevent kinds:\n")
+	for _, name := range kindNames() {
+		if help, ok := kindHelp[name]; ok {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", name, help)
+		} else {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %s\n", name)
+		}
+	}
+}
+
 func main() {
+	kindFilter := flag.String("kind", "", "restrict the printed event sample to these comma-separated kinds")
+	listKinds := flag.Bool("kinds", false, "list the event kinds and exit")
+	flag.Usage = usage
+	flag.Parse()
+	if *listKinds {
+		for _, name := range kindNames() {
+			if help, ok := kindHelp[name]; ok {
+				fmt.Printf("%-14s %s\n", name, help)
+			} else {
+				fmt.Println(name)
+			}
+		}
+		return
+	}
+	wanted, err := parseKinds(*kindFilter)
+	check(err)
+
 	cfg := core.DefaultConfig()
 	cfg.TraceEvents = 1 << 15
 	k, err := core.Boot(cfg)
@@ -43,10 +98,26 @@ func main() {
 	fmt.Printf("audit: clean=%v, %d findings, audit pass itself cost %d cycles\n\n", report.Clean(), len(report.Findings), report.Cycles)
 
 	events := rec.Events()
+	emitted := int(rec.Snapshot().Events)
+	retained := len(events)
+	if wanted != nil {
+		var kept []trace.Event
+		for _, e := range events {
+			if wanted[e.Kind] {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+	}
 	n := len(events)
 	sample := min(eventSample, n)
-	fmt.Printf("event stream: %d events emitted, %d retained, %d overwritten; last %d:\n",
-		int(rec.Snapshot().Events), n, int(rec.Dropped()), sample)
+	if wanted != nil {
+		fmt.Printf("event stream: %d events emitted, %d retained, %d overwritten; %d match -kind %s, last %d:\n",
+			emitted, retained, int(rec.Dropped()), n, *kindFilter, sample)
+	} else {
+		fmt.Printf("event stream: %d events emitted, %d retained, %d overwritten; last %d:\n",
+			emitted, retained, int(rec.Dropped()), sample)
+	}
 	fmt.Println("         seq      cycle kind          module                     cost  args")
 	fmt.Print(trace.FormatEvents(events[n-sample:]))
 	fmt.Println()
@@ -115,6 +186,28 @@ func workload(k *core.Kernel) {
 	}
 	_, err = k.Procs.RunQuantum(20, func(*uproc.Process) {})
 	check(err)
+}
+
+// parseKinds resolves a comma-separated kind list to a filter set; an
+// empty list means no filtering (nil set).
+func parseKinds(list string) (map[trace.Kind]bool, error) {
+	if list == "" {
+		return nil, nil
+	}
+	byName := make(map[string]trace.Kind, trace.NumKinds)
+	for i := 0; i < trace.NumKinds; i++ {
+		byName[trace.Kind(i).String()] = trace.Kind(i)
+	}
+	wanted := make(map[trace.Kind]bool)
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		k, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown event kind %q (valid: %s)", name, strings.Join(kindNames(), ", "))
+		}
+		wanted[k] = true
+	}
+	return wanted, nil
 }
 
 func check(err error) {

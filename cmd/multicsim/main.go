@@ -85,11 +85,12 @@ func main() {
 		fmt.Printf("user %-12s wrote and verified %d files x %d pages\n", principal, *files, *pages)
 	}
 
-	faults, evictions, zeros := k.Frames.Stats()
+	st := k.Frames.Stats()
 	fmt.Println("\nKernel statistics:")
-	fmt.Printf("    page faults serviced:     %d\n", faults)
-	fmt.Printf("    pages evicted:            %d\n", evictions)
-	fmt.Printf("    zero pages reclaimed:     %d\n", zeros)
+	fmt.Printf("    page faults serviced:     %d\n", st.Faults)
+	fmt.Printf("    pages evicted:            %d\n", st.Evictions)
+	fmt.Printf("    zero pages reclaimed:     %d\n", st.ZeroEvictions)
+	fmt.Printf("    translation cache:        %d hits, %d misses, %d shootdowns\n", st.AssocHits, st.AssocMisses, st.Shootdowns)
 	fmt.Printf("    relocation restores:      %d\n", k.Restores())
 	raised, handled := k.Signals.Stats()
 	fmt.Printf("    upward signals:           %d raised, %d handled\n", raised, handled)

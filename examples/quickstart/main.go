@@ -66,7 +66,7 @@ func main() {
 	}
 	fmt.Printf("quota: %d of %d pages used under >alice\n", used, limit)
 
-	faults, evictions, zeros := k.Frames.Stats()
+	st := k.Frames.Stats()
 	fmt.Printf("kernel: %d faults, %d evictions, %d zero pages reclaimed, %d simulated cycles\n",
-		faults, evictions, zeros, k.Meter.Cycles())
+		st.Faults, st.Evictions, st.ZeroEvictions, k.Meter.Cycles())
 }

@@ -84,7 +84,11 @@ func TestShapePageFaultPath(t *testing.T) {
 		return s.Meter.Since(start)
 	}()
 	kernelCost := func() int64 {
-		k := kernelFixture(t, func(c *Config) { c.MemFrames = frames + 8; c.WiredFrames = 8 })
+		// The associative memory is off: this experiment reproduces
+		// the paper's 1974-vs-kernel fault-path comparison, and the
+		// baseline models no translation cache either.
+		k := kernelFixture(t, func(c *Config) { c.MemFrames = frames + 8; c.WiredFrames = 8; c.AssocOff = true })
+		k.Frames.FrameBatch = 1 // ungrouped write-back, as the 1976 system ran
 		p, err := k.CreateProcess("a.x", Bottom)
 		if err != nil {
 			t.Fatal(err)

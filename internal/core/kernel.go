@@ -17,6 +17,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"multics/internal/aim"
@@ -84,6 +85,12 @@ type Config struct {
 	// retaining that many events in the trace ring. Zero boots
 	// untraced (every emission site then costs one nil check).
 	TraceEvents int
+	// AssocOff boots without per-processor associative memories:
+	// every reference then pays a full table walk, as the kernel ran
+	// before the cache. The default (false) fits each processor with
+	// a cache and wires the shootdown bus through the page frame and
+	// segment managers.
+	AssocOff bool
 }
 
 // DefaultConfig returns a small but fully functional machine.
@@ -117,6 +124,9 @@ type Kernel struct {
 	Queue    *uproc.Queue
 	Graph    *deps.Graph
 	CPUs     []*hw.Processor
+	// AssocBus is the connect-fault plane carrying translation-cache
+	// shootdowns between processors; nil when Config.AssocOff.
+	AssocBus *hw.ShootdownBus
 	// Trace is the kernel event recorder, nil until StartTrace.
 	Trace *trace.Recorder
 	// Salvage is the boot-time salvager's report: what the volume
@@ -232,6 +242,18 @@ func Boot(cfg Config) (*Kernel, error) {
 		return nil, err
 	}
 	k.Frames.Daemons = cfg.Daemons
+	if !cfg.AssocOff {
+		k.AssocBus = hw.NewShootdownBus()
+		k.Frames.Bus = k.AssocBus
+		k.Frames.AssocStats = func() (hits, misses, shootdowns int64) {
+			for _, cpu := range k.CPUs {
+				st := cpu.Assoc.Stats()
+				hits += st.Hits
+				misses += st.Misses
+			}
+			return hits, misses, k.AssocBus.Shootdowns()
+		}
+	}
 	k.Cells, err = quota.NewManager(k.Vols, quotaTable, k.Meter)
 	if err != nil {
 		return nil, err
@@ -240,6 +262,7 @@ func Boot(cfg Config) (*Kernel, error) {
 	if err != nil {
 		return nil, err
 	}
+	k.Segs.Bus = k.AssocBus
 
 	// The naming and process levels.
 	rootPack := ""
@@ -292,6 +315,11 @@ func Boot(cfg Config) (*Kernel, error) {
 		cpu.SystemDT = sysDT
 		cpu.SystemSegMax = k.Procs.KSTBase
 		cpu.Ring = hw.UserRing
+		if k.AssocBus != nil {
+			cpu.Assoc = hw.NewAssociativeMemory()
+			cpu.AssocModule = ModFrame
+			k.AssocBus.Attach(cpu.Assoc)
+		}
 		k.VProcs.RegisterProcessor(cpu)
 		k.CPUs = append(k.CPUs, cpu)
 	}
@@ -337,6 +365,7 @@ func (k *Kernel) wireTrace(rec *trace.Recorder) {
 		cpu.Trace = rec
 		cpu.FaultModules = faultModules
 	}
+	k.AssocBus.SetTrace(rec)
 	k.Vols.SetTrace(rec)
 	k.VProcs.SetTrace(rec)
 	k.Frames.SetTrace(rec)
@@ -344,6 +373,19 @@ func (k *Kernel) wireTrace(rec *trace.Recorder) {
 	k.Procs.SetTrace(rec)
 	k.Signals.SetTrace(rec)
 	k.Trace = rec
+}
+
+// AssocFingerprint renders every processor's associative-memory state
+// in a fixed format. It is part of the determinism surface: two
+// identical single-processor runs must yield byte-identical
+// fingerprints, cache contents included.
+func (k *Kernel) AssocFingerprint() string {
+	var b strings.Builder
+	for _, cpu := range k.CPUs {
+		fmt.Fprintf(&b, "cpu%d %s", cpu.ID, cpu.Assoc.Fingerprint())
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // buildSystemDT wires one processor's system descriptor table over

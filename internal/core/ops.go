@@ -20,9 +20,12 @@ const bodyUserWalk = 30
 // making progress.
 var ErrFaultLoop = errors.New("core: reference faulted without progress")
 
-// Attach binds a user process's address space to a CPU.
+// Attach binds a user process's address space to a CPU. This is the
+// process-switch point: installing a different descriptor table clears
+// the processor's associative memory of user entries, so nothing of
+// the previous process's address space can be served to the new one.
 func (k *Kernel) Attach(cpu *hw.Processor, p *uproc.Process) {
-	cpu.UserDT = p.DT()
+	cpu.SwitchUserDT(p.DT())
 	cpu.Ring = hw.UserRing
 }
 

@@ -1,0 +1,206 @@
+package core
+
+// Multiprocessor shootdown stress: the associative-memory analogue of
+// the gate storm. Four CPUs share one public segment and rewrite
+// private churn files under heavy frame pressure, so pages of the
+// shared segment are evicted and re-faulted while other processors
+// hold cached translations of them. Every read verifies the exact word
+// written: a stale translation surviving a shootdown would read a
+// frame reused for someone else's page and return the wrong value.
+// Run with -race.
+//
+// All pages are materialized serially before the storm. First touch of
+// a never-used page raises a quota-trap fault, which (unlike a
+// missing-page fault) has no descriptor-lock serialization, and the
+// zero-page reclaim propagates its file-map updates through whichever
+// caller triggered the eviction — so concurrent first touches of one
+// page are the caller's problem, exactly as concurrent uncoordinated
+// stores to one word are. The storm therefore drives all its paging
+// through the missing-page path, which the descriptor lock serializes.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"multics/internal/aim"
+	"multics/internal/directory"
+	"multics/internal/hw"
+	"multics/internal/uproc"
+)
+
+func TestSMPShootdownNoStaleTranslation(t *testing.T) {
+	const (
+		nCPU       = 4
+		rounds     = 5
+		sharedPgs  = 6
+		churnPgs   = 8
+		churnFiles = 2
+	)
+	k := boot(t, func(c *Config) {
+		c.Processors = nCPU
+		c.MemFrames = 40 // far smaller than the combined working sets
+		c.WiredFrames = 8
+		c.RootQuota = 4096
+	})
+	if k.AssocBus == nil {
+		t.Fatal("associative memory should be on by default")
+	}
+
+	type worker struct {
+		cpu   *hw.Processor
+		p     *uproc.Process
+		churn []int // churn segment numbers
+	}
+	var workers []*worker
+	for i := 0; i < nCPU; i++ {
+		p, err := k.CreateProcess(fmt.Sprintf("shoot%d.x", i), aim.Bottom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := k.CPUs[i]
+		k.Attach(cpu, p)
+		workers = append(workers, &worker{cpu: cpu, p: p})
+	}
+
+	// One shared world-writable segment everyone opens; every page
+	// carries a sentinel word no worker overwrites, so eviction never
+	// finds the page zero and reverts it to the quota-trapped state.
+	w0 := workers[0]
+	if _, err := k.CreateFile(w0.cpu, w0.p, nil, "shared", directory.Public(hw.Read|hw.Write), aim.Bottom); err != nil {
+		t.Fatal(err)
+	}
+	shared := make([]int, nCPU)
+	for wi, w := range workers {
+		segno, err := k.OpenPath(w.cpu, w.p, []string{"shared"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared[wi] = segno
+	}
+	for pg := 0; pg < sharedPgs; pg++ {
+		if err := k.Write(w0.cpu, w0.p, shared[0], pg*hw.PageWords+nCPU, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each worker's private churn files, fully materialized. Their
+	// combined working sets dwarf the pageable frames, so every round
+	// of rewrites forces evictions of other workers' pages.
+	for wi, w := range workers {
+		for cf := 0; cf < churnFiles; cf++ {
+			name := fmt.Sprintf("churn%d-%d", wi, cf)
+			if _, err := k.CreateFile(w.cpu, w.p, nil, name, nil, aim.Bottom); err != nil {
+				t.Fatal(err)
+			}
+			cseg, err := k.OpenPath(w.cpu, w.p, []string{name})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pg := 0; pg < churnPgs; pg++ {
+				if err := k.Write(w.cpu, w.p, cseg, pg*hw.PageWords, hw.Word(wi*churnPgs+pg+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			w.churn = append(w.churn, cseg)
+		}
+	}
+
+	charged, allocated := accountingBalance(t, k)
+	if charged != allocated {
+		t.Fatalf("unbalanced before storm: %d charged vs %d allocated", charged, allocated)
+	}
+	chargedBefore := charged
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nCPU)
+	for wi, w := range workers {
+		wg.Add(1)
+		go func(wi int, w *worker) {
+			defer wg.Done()
+			fail := func(err error) { errs <- fmt.Errorf("worker %d: %w", wi, err) }
+			segno := shared[wi]
+			for r := 0; r < rounds; r++ {
+				// Write this worker's slot of every shared page;
+				// the churn below evicts these pages out from
+				// under the other processors' caches.
+				base := hw.Word(10000*(wi+1) + 100*r)
+				for pg := 0; pg < sharedPgs; pg++ {
+					if err := k.Write(w.cpu, w.p, segno, pg*hw.PageWords+wi, base+hw.Word(pg)); err != nil {
+						fail(err)
+						return
+					}
+				}
+				for _, cseg := range w.churn {
+					for pg := 0; pg < churnPgs; pg++ {
+						if err := k.Write(w.cpu, w.p, cseg, pg*hw.PageWords+1+r, hw.Word(wi*churnPgs+pg+1)); err != nil {
+							fail(err)
+							return
+						}
+					}
+				}
+				// Read-after-evict: the shared pages were likely
+				// evicted and reloaded; a stale cached PTW would
+				// now point at a recycled frame.
+				for pg := 0; pg < sharedPgs; pg++ {
+					got, err := k.Read(w.cpu, w.p, segno, pg*hw.PageWords+wi)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if got != base+hw.Word(pg) {
+						fail(fmt.Errorf("round %d shared page %d slot %d = %d, want %d (stale translation?)",
+							r, pg, wi, got, base+hw.Word(pg)))
+						return
+					}
+				}
+			}
+		}(wi, w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := k.Frames.Stats()
+	if st.Evictions == 0 {
+		t.Error("storm produced no evictions; the test applied no pressure")
+	}
+	if st.Shootdowns == 0 {
+		t.Error("storm produced no shootdowns; the cross-CPU invalidation path was not exercised")
+	}
+	if st.AssocHits == 0 {
+		t.Error("storm produced no associative hits; the cache was not exercised")
+	}
+
+	// Nothing was created or destroyed by the storm: the books must
+	// still balance at the pre-storm figure exactly.
+	charged, allocated = accountingBalance(t, k)
+	if charged != allocated {
+		t.Errorf("after storm: %d pages charged vs %d records allocated", charged, allocated)
+	}
+	if charged != chargedBefore {
+		t.Errorf("after storm: %d pages charged, want the pre-storm %d", charged, chargedBefore)
+	}
+	// Serial teardown: the churn files go, and the books must follow.
+	for wi, w := range workers {
+		for cf := 0; cf < churnFiles; cf++ {
+			if err := k.Delete(w.cpu, w.p, nil, fmt.Sprintf("churn%d-%d", wi, cf)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	charged, allocated = accountingBalance(t, k)
+	if charged != allocated {
+		t.Errorf("after teardown: %d pages charged vs %d records allocated", charged, allocated)
+	}
+	if bad := k.Frames.Audit(); len(bad) != 0 {
+		t.Errorf("page frame audit: %v", bad)
+	}
+	if bad := k.Segs.Audit(); len(bad) != 0 {
+		t.Errorf("segment audit: %v", bad)
+	}
+	if bad := k.KSM.Audit(); len(bad) != 0 {
+		t.Errorf("KST audit: %v", bad)
+	}
+}

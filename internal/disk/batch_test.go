@@ -1,0 +1,74 @@
+package disk
+
+import (
+	"testing"
+
+	"multics/internal/hw"
+)
+
+// A grouped submission writes every record but pays the seek once.
+func TestWriteRecordBatch(t *testing.T) {
+	meter := &hw.CostMeter{}
+	p := NewPack("dska", 8, meter)
+	var recs []RecordAddr
+	var bufs [][]hw.Word
+	for i := 0; i < 3; i++ {
+		r, err := p.AllocRecord()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]hw.Word, hw.PageWords)
+		buf[0] = hw.Word(100 + i)
+		recs = append(recs, r)
+		bufs = append(bufs, buf)
+	}
+	before := meter.Cycles()
+	if err := p.WriteRecordBatch(recs, bufs); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := meter.Cycles()-before, int64(hw.CycDiskSeek+3*hw.CycDiskRecord); got != want {
+		t.Errorf("batch of 3 cost %d cycles, want %d (one seek, three transfers)", got, want)
+	}
+	dst := make([]hw.Word, hw.PageWords)
+	for i, r := range recs {
+		if err := p.ReadRecord(r, dst); err != nil {
+			t.Fatal(err)
+		}
+		if dst[0] != hw.Word(100+i) {
+			t.Errorf("record %d word 0 = %d, want %d", r, dst[0], 100+i)
+		}
+	}
+}
+
+// Validation happens before any transfer: a bad entry anywhere in the
+// batch leaves every record untouched.
+func TestWriteRecordBatchValidatesUpFront(t *testing.T) {
+	meter := &hw.CostMeter{}
+	p := NewPack("dska", 4, meter)
+	r, err := p.AllocRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]hw.Word, hw.PageWords)
+	good[0] = 55
+	if err := p.WriteRecord(r, good); err != nil {
+		t.Fatal(err)
+	}
+	good[0] = 99
+	if err := p.WriteRecordBatch([]RecordAddr{r, RecordAddr(9)}, [][]hw.Word{good, good}); err == nil {
+		t.Error("out-of-range record in batch accepted")
+	}
+	if err := p.WriteRecordBatch([]RecordAddr{r, r}, [][]hw.Word{good, good[:5]}); err == nil {
+		t.Error("short buffer in batch accepted")
+	}
+	if err := p.WriteRecordBatch([]RecordAddr{r}, [][]hw.Word{good, good}); err == nil {
+		t.Error("mismatched batch lengths accepted")
+	}
+	dst := make([]hw.Word, hw.PageWords)
+	if err := p.ReadRecord(r, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 55 {
+		t.Errorf("rejected batch modified record: word 0 = %d, want 55", dst[0])
+	}
+}

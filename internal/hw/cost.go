@@ -15,9 +15,14 @@ import (
 const (
 	// CycMemRef is one primary-memory word reference.
 	CycMemRef = 1
-	// CycTableWalk is one address translation (descriptor fetch,
-	// page-table fetch) when the translation hits.
-	CycTableWalk = 2
+	// CycTableWalk is one address translation through the tables in
+	// memory (descriptor fetch plus page-table fetch) when the
+	// translation hits.
+	CycTableWalk = 4
+	// CycAssocHit is one address translation answered by the
+	// processor's associative memory, far below CycTableWalk — the
+	// 6180 fast path the kernel must keep coherent.
+	CycAssocHit = 1
 	// CycFault is the hardware cost of taking any exception: saving
 	// processor state and transferring to the handler.
 	CycFault = 50

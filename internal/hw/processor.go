@@ -81,6 +81,24 @@ type Processor struct {
 	// to; the kernel's gate wrapper sets it per processor before
 	// each GateCall, so no cross-processor race exists.
 	GateModule string
+
+	// Assoc, when non-nil, is this processor's associative memory:
+	// the SDW/PTW cache consulted before any table walk. Its mutex
+	// doubles as the reference lock Read/Write/Translate hold across
+	// translate-plus-access, which is what makes a shootdown
+	// broadcast a barrier against stale translations.
+	Assoc *AssociativeMemory
+	// AssocModule is the module associative-memory events are
+	// attributed to; the kernel points it at the page frame manager,
+	// whose descriptor traffic the cache exists to absorb.
+	AssocModule string
+
+	// xlats/xlatCycles count address translations and the simulated
+	// cycles charged for the translation step alone (walks and
+	// associative hits, not faults or the final memory reference),
+	// so the fast path's effect is measurable with the cache off.
+	xlats      atomic.Int64
+	xlatCycles atomic.Int64
 }
 
 // NewProcessor returns a processor with the given id attached to mem,
@@ -137,8 +155,37 @@ func (p *Processor) tableFor(segno int) (*DescriptorTable, bool) {
 // missing-page faults on descriptor-lock hardware the fault records
 // that this processor set the lock bit, and the locked-descriptor-
 // address register is loaded.
+//
+// When an associative memory is fitted, the translation is first
+// offered to it; Translate holds its mutex (the reference lock) for
+// the duration, so a caller wanting the returned address to stay
+// valid across the access must use Read or Write, which hold the lock
+// across both steps.
 func (p *Processor) Translate(segno, offset int, mode AccessMode) (int, error) {
+	if p.Assoc != nil {
+		p.Assoc.mu.Lock()
+		defer p.Assoc.mu.Unlock()
+	}
+	return p.translate(segno, offset, mode)
+}
+
+// translate is the translation body; the caller holds the associative
+// memory's mutex when one is fitted.
+func (p *Processor) translate(segno, offset int, mode AccessMode) (int, error) {
+	if p.Assoc != nil {
+		if addr, ok := p.assocLookup(segno, offset, mode); ok {
+			return addr, nil
+		}
+		p.Assoc.misses++
+		pg := 0
+		if offset >= 0 {
+			pg = PageOf(offset)
+		}
+		p.emitAssoc(trace.EvAssocMiss, CycTableWalk, segno, pg, 0)
+	}
 	p.Meter.Add(CycTableWalk)
+	p.xlats.Add(1)
+	p.xlatCycles.Add(CycTableWalk)
 	dt, system := p.tableFor(segno)
 	if dt == nil {
 		return 0, p.fault(&Fault{Kind: FaultMissingSegment, Seg: segno, Offset: offset, Ring: p.Ring}, 0)
@@ -171,7 +218,98 @@ func (p *Processor) Translate(segno, offset int, mode AccessMode) (int, error) {
 		}, CycFault)
 	}
 	p.Meter.Add(CycMemRef)
+	if p.Assoc != nil {
+		p.Assoc.fillLocked(dt, segno, page, ptw.Frame, sdw, system)
+	}
 	return p.Mem.FrameBase(ptw.Frame) + offset%PageWords, nil
+}
+
+// assocLookup consults the associative memory for (segno, offset). A
+// hit re-validates the ring and access checks against the cached SDW —
+// a gate crossing changes the validation ring between references, and
+// a cached descriptor must never grant what the current ring may not
+// use — and any check failure falls through to the table walk, which
+// raises the canonical fault. Locked or quota-trapped descriptors can
+// never be served here: only present, unlocked translations are ever
+// filled, and every transition away from that state broadcasts a
+// shootdown first. The caller holds the associative memory's mutex.
+func (p *Processor) assocLookup(segno, offset int, mode AccessMode) (int, bool) {
+	if offset < 0 {
+		return 0, false
+	}
+	dt, system := p.tableFor(segno)
+	if dt == nil {
+		return 0, false
+	}
+	a := p.Assoc
+	sdw, ok := a.lookupSDWLocked(dt, segno)
+	if !ok {
+		return 0, false
+	}
+	if system && p.Ring > KernelRing {
+		return 0, false
+	}
+	if p.Ring > sdw.MaxRing || !sdw.Access.Has(mode) || (mode.Has(Write) && p.Ring > sdw.WriteRing) {
+		return 0, false
+	}
+	page := PageOf(offset)
+	frame, ok := a.lookupPTWLocked(sdw.Table, segno, page)
+	if !ok {
+		return 0, false
+	}
+	// Write-through of the hardware's reference bits: the walk is
+	// skipped, but the eviction clock still needs Used/Modified.
+	if _, err := sdw.Table.Update(page, func(d *PTW) {
+		d.Used = true
+		if mode.Has(Write) {
+			d.Modified = true
+		}
+	}); err != nil {
+		return 0, false
+	}
+	a.hits++
+	p.Meter.Add(CycAssocHit + CycMemRef)
+	p.xlats.Add(1)
+	p.xlatCycles.Add(CycAssocHit)
+	p.emitAssoc(trace.EvAssocHit, CycAssocHit, segno, page, 0)
+	return p.Mem.FrameBase(frame) + offset%PageWords, true
+}
+
+// emitAssoc traces one associative-memory event.
+func (p *Processor) emitAssoc(kind trace.Kind, cost int64, arg0, arg1, arg2 int) {
+	if p.Trace == nil {
+		return
+	}
+	mod := p.AssocModule
+	if mod == "" {
+		mod = UnattributedModule
+	}
+	p.Trace.Emit(trace.Event{
+		Kind: kind, Module: mod, CPU: int32(p.ID) + 1, Cost: cost,
+		Arg0: int64(arg0), Arg1: int64(arg1), Arg2: int64(arg2),
+	})
+}
+
+// SwitchUserDT installs the descriptor table of a newly dispatched
+// process. When the address space actually changes, the associative
+// memory's user entries are cleared — the selective clear a process
+// switch performs, leaving the wired system entries in place.
+func (p *Processor) SwitchUserDT(dt *DescriptorTable) {
+	if p.Assoc != nil && p.UserDT != dt {
+		p.Assoc.mu.Lock()
+		n := p.Assoc.clearUserLocked()
+		p.Assoc.mu.Unlock()
+		p.emitAssoc(trace.EvAssocClear, 0, 2, -1, n)
+	}
+	p.UserDT = dt
+}
+
+// TranslationStats reports the translations this processor has
+// performed and the simulated cycles charged for the translation step
+// alone (table walks and associative hits; fault and final
+// memory-reference cycles are excluded).
+func (p *Processor) TranslationStats() (count, cycles int64) {
+	return p.xlats.Load(), p.xlatCycles.Load()
 }
 
 // fault traces f (charged the cycles the hardware metered for it) and
@@ -181,18 +319,29 @@ func (p *Processor) fault(f *Fault, cost int64) error {
 	return f
 }
 
-// Read loads the word at virtual address (segno, offset).
+// Read loads the word at virtual address (segno, offset). The
+// reference lock is held across translation and the load, so a
+// shootdown cannot retire the frame between the two.
 func (p *Processor) Read(segno, offset int) (Word, error) {
-	addr, err := p.Translate(segno, offset, Read)
+	if p.Assoc != nil {
+		p.Assoc.mu.Lock()
+		defer p.Assoc.mu.Unlock()
+	}
+	addr, err := p.translate(segno, offset, Read)
 	if err != nil {
 		return 0, err
 	}
 	return p.Mem.Read(addr)
 }
 
-// Write stores w at virtual address (segno, offset).
+// Write stores w at virtual address (segno, offset), holding the
+// reference lock across translation and the store.
 func (p *Processor) Write(segno, offset int, w Word) error {
-	addr, err := p.Translate(segno, offset, Write)
+	if p.Assoc != nil {
+		p.Assoc.mu.Lock()
+		defer p.Assoc.mu.Unlock()
+	}
+	addr, err := p.translate(segno, offset, Write)
 	if err != nil {
 		return err
 	}

@@ -40,6 +40,7 @@ package pageframe
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"multics/internal/disk"
 	"multics/internal/eventcount"
@@ -119,6 +120,19 @@ type descKey struct {
 	page int
 }
 
+// DefaultFrameBatch is how many frames an allocation moves between the
+// global pool and a processor's local cache, and how many victims one
+// eviction pass gathers for a grouped write-back.
+const DefaultFrameBatch = 4
+
+// A frameCache is one processor's private stock of free frames,
+// refilled in batches from the global pool so the common allocation
+// does not take the manager lock at all.
+type frameCache struct {
+	mu     sync.Mutex
+	frames []int
+}
+
 // A Manager multiplexes the pageable page frames.
 type Manager struct {
 	mem   *hw.Memory
@@ -130,6 +144,16 @@ type Manager struct {
 	Lang hw.Language
 	// Daemons selects the multi-process write-back organization.
 	Daemons bool
+	// Bus broadcasts associative-memory shootdowns whenever the
+	// manager disconnects a page descriptor; a nil bus (no
+	// translation caches fitted) does nothing.
+	Bus *hw.ShootdownBus
+	// AssocStats, when set by the kernel, reports the aggregate
+	// translation-cache counters Stats folds in: hits, misses and
+	// shootdown broadcasts.
+	AssocStats func() (hits, misses, shootdowns int64)
+	// FrameBatch overrides DefaultFrameBatch when positive.
+	FrameBatch int
 
 	mu      lockrank.Mutex
 	sink    trace.Sink
@@ -138,6 +162,12 @@ type Manager struct {
 	free    []int       // absolute frame numbers
 	clock   int
 	unlocks map[descKey]*eventcount.Eventcount
+
+	// caches[i] belongs to the goroutine bound to simulated
+	// processor i-1; slot 0 serves unbound callers. The lock order
+	// is m.mu before any cache mutex; the fast path takes only the
+	// cache mutex.
+	caches [hw.MeterCPUs + 1]frameCache
 
 	faults, evictions, zeroEvictions int64
 }
@@ -195,19 +225,44 @@ func (m *Manager) PageableFrames() int { return len(m.frames) }
 // must read or write resident pages directly.
 func (m *Manager) Mem() *hw.Memory { return m.mem }
 
-// FreeFrames reports how many frames are currently unassigned.
+// FreeFrames reports how many frames are currently unassigned,
+// counting those parked in per-processor caches.
 func (m *Manager) FreeFrames() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.free)
+	n := len(m.free)
+	for i := range m.caches {
+		c := &m.caches[i]
+		c.mu.Lock()
+		n += len(c.frames)
+		c.mu.Unlock()
+	}
+	return n
 }
 
-// Stats reports the counts of fault services, evictions, and
-// zero-page discoveries.
-func (m *Manager) Stats() (faults, evictions, zeroEvictions int64) {
+// Stats is the manager's counter block: fault services, evictions,
+// zero-page discoveries, and — when translation caches are fitted —
+// the associative-memory hit/miss and shootdown counts, so the
+// attribution of the translation fast path shows up next to the slow
+// path it replaces.
+type Stats struct {
+	Faults        int64
+	Evictions     int64
+	ZeroEvictions int64
+	AssocHits     int64
+	AssocMisses   int64
+	Shootdowns    int64
+}
+
+// Stats reports the manager's counters.
+func (m *Manager) Stats() Stats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.faults, m.evictions, m.zeroEvictions
+	st := Stats{Faults: m.faults, Evictions: m.evictions, ZeroEvictions: m.zeroEvictions}
+	m.mu.Unlock()
+	if m.AssocStats != nil {
+		st.AssocHits, st.AssocMisses, st.Shootdowns = m.AssocStats()
+	}
+	return st
 }
 
 // LoadPage services a missing-page fault: it obtains a frame (evicting
@@ -233,7 +288,7 @@ func (m *Manager) LoadPage(req PageReq) ([]Evicted, error) {
 
 	frame, ev, err := m.obtainFrame()
 	if err != nil {
-		return nil, err
+		return ev, err
 	}
 	if req.HasRecord {
 		buf := make([]hw.Word, hw.PageWords)
@@ -395,35 +450,106 @@ func (m *Manager) WaitUnlock(proc *hw.Processor, pt *hw.PageTable, page int) err
 	return nil
 }
 
-// obtainFrame returns a free frame, evicting a victim if none is
-// free. Caller must not hold m.mu.
+// batch reports the frame-batch size in effect.
+func (m *Manager) batch() int {
+	if m.FrameBatch > 0 {
+		return m.FrameBatch
+	}
+	return DefaultFrameBatch
+}
+
+// cache returns the calling goroutine's frame cache: the one of the
+// simulated processor it is bound to, or slot 0 when unbound.
+func (m *Manager) cache() *frameCache {
+	return &m.caches[int(trace.BoundCPU())%len(m.caches)]
+}
+
+// drainCachesLocked pulls every privately cached frame back into the
+// global pool. The caller holds m.mu.
+func (m *Manager) drainCachesLocked() {
+	for i := range m.caches {
+		c := &m.caches[i]
+		c.mu.Lock()
+		m.free = append(m.free, c.frames...)
+		c.frames = c.frames[:0]
+		c.mu.Unlock()
+	}
+}
+
+// obtainFrame returns a free frame, evicting victims if none is free.
+// The common case costs only the local cache's mutex; a refill moves a
+// batch of frames from the global pool, and an eviction pass gathers a
+// batch of victims whose dirty pages are written back as one grouped
+// disk submission, so the manager lock is never held across a disk
+// write. Caller must not hold m.mu.
 func (m *Manager) obtainFrame() (int, []Evicted, error) {
-	m.mu.Lock()
-	if len(m.free) > 0 {
-		f := m.free[len(m.free)-1]
-		m.free = m.free[:len(m.free)-1]
-		m.mu.Unlock()
+	c := m.cache()
+	c.mu.Lock()
+	if n := len(c.frames); n > 0 {
+		f := c.frames[n-1]
+		c.frames = c.frames[:n-1]
+		c.mu.Unlock()
 		return f, nil, nil
 	}
-	victim, err := m.chooseVictimLocked()
-	if err != nil {
-		m.mu.Unlock()
-		return 0, nil, err
+	c.mu.Unlock()
+
+	batch := m.batch()
+	m.mu.Lock()
+	if len(m.free) == 0 {
+		// The pool is dry; reclaim frames parked at idle processors
+		// before resorting to eviction.
+		m.drainCachesLocked()
 	}
-	info := m.frames[victim-m.first]
-	m.frames[victim-m.first] = frameInfo{}
-	m.evictions++
+	if len(m.free) > 0 {
+		take := batch
+		if take > len(m.free) {
+			take = len(m.free)
+		}
+		grabbed := make([]int, take)
+		copy(grabbed, m.free[len(m.free)-take:])
+		m.free = m.free[:len(m.free)-take]
+		m.mu.Unlock()
+		if take > 1 {
+			c.mu.Lock()
+			c.frames = append(c.frames, grabbed[:take-1]...)
+			c.mu.Unlock()
+		}
+		return grabbed[take-1], nil, nil
+	}
+	// Nothing free anywhere: gather up to a batch of victims in one
+	// pass over the clock.
+	var victims []victim
+	for len(victims) < batch {
+		vf, err := m.chooseVictimLocked()
+		if err != nil {
+			if len(victims) == 0 {
+				m.mu.Unlock()
+				return 0, nil, err
+			}
+			break
+		}
+		victims = append(victims, victim{frame: vf, info: m.frames[vf-m.first]})
+		m.frames[vf-m.first] = frameInfo{}
+		m.evictions++
+	}
 	m.mu.Unlock()
 
-	ev, err := m.writeBack(victim, info)
+	evs, err := m.writeBackBatch(victims)
 	if err != nil {
-		return 0, nil, err
+		return 0, evs, err
 	}
-	var evs []Evicted
-	if ev != nil {
-		evs = append(evs, *ev)
+	// The first victim's frame satisfies the caller; the rest refill
+	// the local cache. They only become reusable here, after the
+	// shootdown broadcast in writeBackBatch has retired every cached
+	// translation of them.
+	if len(victims) > 1 {
+		c.mu.Lock()
+		for _, v := range victims[1:] {
+			c.frames = append(c.frames, v.frame)
+		}
+		c.mu.Unlock()
 	}
-	return victim, evs, nil
+	return victims[0].frame, evs, nil
 }
 
 // chooseVictimLocked runs the clock over the in-use frames: a frame
@@ -466,71 +592,130 @@ func (m *Manager) chooseVictimLocked() (int, error) {
 	return 0, ErrNoFrames
 }
 
-// writeBack removes the victim page from its descriptor and persists
-// its contents: zeros free the record (the zero-page optimization),
-// anything else is written to the record, by the page-writer daemon
-// when the multi-process organization is on.
-func (m *Manager) writeBack(frame int, info frameInfo) (*Evicted, error) {
-	// Disconnect the descriptor first so no reference sees a frame
-	// being recycled. A zero page gets the quota-trap bit so its
-	// next touch goes through the charged path again.
-	zero, err := m.mem.FrameIsZero(frame)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := info.pt.Update(info.page, func(d *hw.PTW) {
-		d.Present = false
-		d.Frame = 0
-		d.QuotaTrap = zero
-	}); err != nil {
-		return nil, err
-	}
-	ev := &Evicted{UID: info.uid, Page: info.page, Zero: zero}
-	if info.pack != nil {
-		ev.Pack = info.pack.ID()
-		ev.Record = info.record
-	}
-	var wasZero int64
-	if zero {
-		wasZero = 1
-	}
-	m.emit(trace.Event{Kind: trace.EvPageEvict, Module: ModuleName, Arg0: int64(info.uid), Arg1: int64(info.page), Arg2: wasZero})
-	if zero {
-		m.mu.Lock()
-		m.zeroEvictions++
-		m.mu.Unlock()
-		if info.hasRecord {
-			if err := info.pack.FreeRecord(info.record); err != nil {
-				return nil, err
-			}
-			ev.FreedRecord = true
+// A victim is one frame removed from the in-use table whose page is
+// still to be disconnected and persisted.
+type victim struct {
+	frame int
+	info  frameInfo
+}
+
+// A pendingWrite is one dirty victim's contents awaiting its grouped
+// disk submission.
+type pendingWrite struct {
+	pack *disk.Pack
+	rec  disk.RecordAddr
+	buf  []hw.Word
+}
+
+// writeBackBatch disconnects each victim's descriptor and persists the
+// group: zeros free their records (the zero-page optimization), and
+// every dirty page is gathered into one grouped disk submission per
+// pack — queued to the page-writer daemon when the multi-process
+// organization is on — instead of one positioning operation per page.
+// Eviction reports are returned for every victim processed, even when
+// a later one fails. Caller must not hold m.mu.
+func (m *Manager) writeBackBatch(victims []victim) ([]Evicted, error) {
+	var evs []Evicted
+	var dirty []pendingWrite
+	for _, v := range victims {
+		info := v.info
+		// Scan for zeros before disconnecting: a zero page's trap
+		// bit must appear atomically with not-present, so a racing
+		// toucher sees either the resident page or the charged
+		// quota path, never a gap.
+		zero, err := m.mem.FrameIsZero(v.frame)
+		if err != nil {
+			return evs, err
 		}
-		return ev, nil
+		if _, err := info.pt.Update(info.page, func(d *hw.PTW) {
+			d.Present = false
+			d.Frame = 0
+			d.QuotaTrap = zero
+		}); err != nil {
+			return evs, err
+		}
+		// Broadcast before the frame's contents are read or the
+		// frame reused: when InvalidatePTW returns, every reference
+		// that translated through a cached PTW has completed and no
+		// processor can reach the frame again.
+		m.Bus.InvalidatePTW(ModuleName, info.pt, info.page)
+		ev := Evicted{UID: info.uid, Page: info.page, Zero: zero}
+		if info.pack != nil {
+			ev.Pack = info.pack.ID()
+			ev.Record = info.record
+		}
+		var wasZero int64
+		if zero {
+			wasZero = 1
+		}
+		m.emit(trace.Event{Kind: trace.EvPageEvict, Module: ModuleName, Arg0: int64(info.uid), Arg1: int64(info.page), Arg2: wasZero})
+		if zero {
+			m.mu.Lock()
+			m.zeroEvictions++
+			m.mu.Unlock()
+			if info.hasRecord {
+				if err := info.pack.FreeRecord(info.record); err != nil {
+					return evs, err
+				}
+				ev.FreedRecord = true
+			}
+			evs = append(evs, ev)
+			continue
+		}
+		if !info.hasRecord {
+			return evs, fmt.Errorf("pageframe: dirty page %d of segment %d has no record", info.page, info.uid)
+		}
+		buf := make([]hw.Word, hw.PageWords)
+		if err := m.mem.ReadFrame(v.frame, buf); err != nil {
+			return evs, err
+		}
+		dirty = append(dirty, pendingWrite{pack: info.pack, rec: info.record, buf: buf})
+		evs = append(evs, ev)
 	}
-	if !info.hasRecord {
-		return nil, fmt.Errorf("pageframe: dirty page %d of segment %d has no record", info.page, info.uid)
-	}
-	buf := make([]hw.Word, hw.PageWords)
-	if err := m.mem.ReadFrame(frame, buf); err != nil {
-		return nil, err
+	if len(dirty) == 0 {
+		return evs, nil
 	}
 	if m.Daemons && m.vps != nil {
-		pack, rec := info.pack, info.record
 		if err := m.vps.Enqueue(PageWriterModule, func() {
-			_ = disk.Retry(m.meter, func() error {
-				return pack.WriteRecord(rec, buf)
-			})
+			_ = m.flushWrites(dirty)
 		}); err != nil {
-			return nil, err
+			return evs, err
 		}
-	} else {
-		if err := disk.Retry(m.meter, func() error {
-			return info.pack.WriteRecord(info.record, buf)
-		}); err != nil {
-			return nil, fmt.Errorf("pageframe: writing back page %d of segment %d: %w", info.page, info.uid, err)
+		return evs, nil
+	}
+	if err := m.flushWrites(dirty); err != nil {
+		return evs, fmt.Errorf("pageframe: writing back %d evicted pages: %w", len(dirty), err)
+	}
+	return evs, nil
+}
+
+// flushWrites submits the gathered dirty pages, one batched write per
+// pack in first-seen order.
+func (m *Manager) flushWrites(dirty []pendingWrite) error {
+	var packs []*disk.Pack
+	byPack := make(map[*disk.Pack]int)
+	for _, w := range dirty {
+		if _, ok := byPack[w.pack]; !ok {
+			byPack[w.pack] = len(packs)
+			packs = append(packs, w.pack)
 		}
 	}
-	return ev, nil
+	for _, pack := range packs {
+		var recs []disk.RecordAddr
+		var bufs [][]hw.Word
+		for _, w := range dirty {
+			if w.pack == pack {
+				recs = append(recs, w.rec)
+				bufs = append(bufs, w.buf)
+			}
+		}
+		if err := disk.Retry(m.meter, func() error {
+			return pack.WriteRecordBatch(recs, bufs)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // releaseFrame returns a frame obtained by obtainFrame that could not
@@ -565,12 +750,10 @@ func (m *Manager) ReleaseSegment(pt *hw.PageTable) ([]Evicted, error) {
 		m.evictions++
 		m.mu.Unlock()
 
-		ev, err := m.writeBack(m.first+idx, info)
+		evs, err := m.writeBackBatch([]victim{{frame: m.first + idx, info: info}})
+		out = append(out, evs...)
 		if err != nil {
 			return out, err
-		}
-		if ev != nil {
-			out = append(out, *ev)
 		}
 		m.mu.Lock()
 		m.free = append(m.free, m.first+idx)
@@ -630,17 +813,30 @@ func (m *Manager) Audit() []string {
 	defer m.mu.Unlock()
 	var bad []string
 	seen := make(map[int]string, len(m.frames))
-	for _, f := range m.free {
-		if f < m.first || f >= m.first+len(m.frames) {
-			bad = append(bad, fmt.Sprintf("free frame %d outside pageable range", f))
-			continue
+	// The global pool and the per-processor caches together form the
+	// free side of the partition.
+	freeLists := [][]int{m.free}
+	for i := range m.caches {
+		c := &m.caches[i]
+		c.mu.Lock()
+		if len(c.frames) > 0 {
+			freeLists = append(freeLists, append([]int(nil), c.frames...))
 		}
-		if prev, dup := seen[f]; dup {
-			bad = append(bad, fmt.Sprintf("frame %d on free list twice (%s)", f, prev))
-		}
-		seen[f] = "free"
-		if m.frames[f-m.first].inUse {
-			bad = append(bad, fmt.Sprintf("frame %d both free and in use", f))
+		c.mu.Unlock()
+	}
+	for _, list := range freeLists {
+		for _, f := range list {
+			if f < m.first || f >= m.first+len(m.frames) {
+				bad = append(bad, fmt.Sprintf("free frame %d outside pageable range", f))
+				continue
+			}
+			if prev, dup := seen[f]; dup {
+				bad = append(bad, fmt.Sprintf("frame %d on free list twice (%s)", f, prev))
+			}
+			seen[f] = "free"
+			if m.frames[f-m.first].inUse {
+				bad = append(bad, fmt.Sprintf("frame %d both free and in use", f))
+			}
 		}
 	}
 	for i, fi := range m.frames {
@@ -668,16 +864,26 @@ func (m *Manager) Audit() []string {
 }
 
 // DropPage discards a resident page without write-back (used when the
-// whole segment is being deleted).
+// whole segment is being deleted). The frame returns to the free pool
+// only after the descriptor is cleared and the shootdown broadcast has
+// retired every cached translation of it.
 func (m *Manager) DropPage(pt *hw.PageTable, page int) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	found := -1
 	for i := range m.frames {
 		if m.frames[i].inUse && m.frames[i].pt == pt && m.frames[i].page == page {
 			m.frames[i] = frameInfo{}
-			m.free = append(m.free, m.first+i)
-			_, _ = pt.Update(page, func(d *hw.PTW) { *d = hw.PTW{} })
-			return
+			found = i
+			break
 		}
 	}
+	m.mu.Unlock()
+	if found < 0 {
+		return
+	}
+	_, _ = pt.Update(page, func(d *hw.PTW) { *d = hw.PTW{} })
+	m.Bus.InvalidatePTW(ModuleName, pt, page)
+	m.mu.Lock()
+	m.free = append(m.free, m.first+found)
+	m.mu.Unlock()
 }

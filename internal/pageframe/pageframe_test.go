@@ -98,8 +98,7 @@ func TestLoadPageFromRecord(t *testing.T) {
 	if got := frameWord(t, f.mem, pt, 0, 0); got != 77 {
 		t.Errorf("loaded word = %d, want 77", got)
 	}
-	faults, _, _ := f.m.Stats()
-	if faults != 1 {
+	if faults := f.m.Stats().Faults; faults != 1 {
 		t.Errorf("faults = %d", faults)
 	}
 }
@@ -185,6 +184,7 @@ func TestAddPageFullPackReturnsUpTheChain(t *testing.T) {
 
 func TestEvictionWritesBackDirtyPage(t *testing.T) {
 	f := newFixture(t, 2) // only two pageable frames
+	f.m.FrameBatch = 1    // single-victim semantics under test
 	// Fill both frames with dirty pages.
 	var pts []*hw.PageTable
 	var recs []disk.RecordAddr
@@ -261,8 +261,7 @@ func TestZeroPageEvictionFreesRecordAndSetsQuotaTrap(t *testing.T) {
 	if d.Present || !d.QuotaTrap {
 		t.Errorf("zero-evicted descriptor = %+v, want quota trap set", d)
 	}
-	_, _, zeros := f.m.Stats()
-	if zeros != 1 {
+	if zeros := f.m.Stats().ZeroEvictions; zeros != 1 {
 		t.Errorf("zeroEvictions = %d", zeros)
 	}
 }
@@ -433,6 +432,7 @@ func TestDropPage(t *testing.T) {
 
 func TestClockGivesSecondChance(t *testing.T) {
 	f := newFixture(t, 2)
+	f.m.FrameBatch = 1 // single-victim semantics under test
 	ptA := hw.NewPageTable(0, false)
 	ptB := hw.NewPageTable(0, false)
 	if _, _, err := f.m.AddPage(PageReq{UID: 1, PT: ptA, Page: 0, Pack: f.pack}); err != nil {

@@ -127,6 +127,10 @@ type Manager struct {
 	ast    astStore
 	meter  *hw.CostMeter
 
+	// Bus broadcasts associative-memory shootdowns when a segment
+	// descriptor is installed or severed; a nil bus does nothing.
+	Bus *hw.ShootdownBus
+
 	mu      lockrank.Mutex
 	byUID   map[uint64]*ASTE
 	slots   []bool
@@ -304,6 +308,9 @@ func (m *Manager) Connect(uid uint64, dt *hw.DescriptorTable, segno int, access 
 	}); err != nil {
 		return err
 	}
+	// A stale cached descriptor for this segment number (a previous
+	// connection) must not outlive the new one.
+	m.Bus.InvalidateSDW(ModuleName, dt, segno)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	a.conns = append(a.conns, Conn{DT: dt, Segno: segno})
@@ -326,6 +333,10 @@ func (m *Manager) Disconnect(uid uint64) error {
 		if err := c.DT.Clear(c.Segno); err != nil {
 			return err
 		}
+		// No processor may keep translating through the severed
+		// descriptor: broadcast before the caller goes on to move
+		// or destroy the segment's pages.
+		m.Bus.InvalidateSDW(ModuleName, c.DT, c.Segno)
 	}
 	return nil
 }

@@ -97,16 +97,30 @@ const (
 	// inconsistency (Arg0 is the repair class, Arg1/Arg2
 	// repair-specific).
 	EvSalvageRepair
+	// EvAssocHit: a processor's associative memory answered an
+	// address translation without a table walk (Arg0 segment
+	// number, Arg1 page).
+	EvAssocHit
+	// EvAssocMiss: the associative memory could not answer and the
+	// processor walked the descriptor tables (Arg0 segment number,
+	// Arg1 page).
+	EvAssocMiss
+	// EvAssocClear: associative-memory entries were invalidated
+	// (Arg0 is the clear class: 0 a page shootdown, 1 a segment
+	// shootdown, 2 a process switch; Arg1 the page or segment
+	// number, -1 for a process switch; Arg2 the entries cleared).
+	EvAssocClear
 
 	// NumKinds is the size of per-kind counter arrays.
-	NumKinds = int(EvSalvageRepair) + 1
+	NumKinds = int(EvAssocClear) + 1
 )
 
 var kindNames = [NumKinds]string{
 	"fault", "gate-cross", "page-fetch", "page-evict", "lock-spin",
 	"dispatch", "ipc", "process-swap", "disk-read", "disk-write",
 	"quota-check", "signal-raise", "signal-handle", "await", "advance",
-	"fault-injected", "salvage-repair",
+	"fault-injected", "salvage-repair", "assoc-hit", "assoc-miss",
+	"assoc-clear",
 }
 
 func (k Kind) String() string {

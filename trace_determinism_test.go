@@ -77,6 +77,36 @@ var traceWorkloads = []struct {
 		},
 	},
 	{
+		// Re-references served by the associative memory, then enough
+		// growth to force evictions and their shootdown clears: the
+		// hit/miss/clear events and the cache contents themselves must
+		// replay identically.
+		name: "assoc-re-reference",
+		cfg:  func(c *Config) { c.MemFrames = 24; c.WiredFrames = 8 },
+		run: func(t *testing.T, k *Kernel) {
+			cpu, p := traceProcess(t, k)
+			segno := traceFile(t, k, p, nil, "warm")
+			for i := 0; i < 8; i++ {
+				if err := k.Write(cpu, p, segno, i*hw.PageWords, hw.Word(i+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for r := 0; r < 40; r++ {
+				for i := 0; i < 8; i++ {
+					if _, err := k.Read(cpu, p, segno, i*hw.PageWords+r%hw.PageWords); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			cold := traceFile(t, k, p, nil, "cold")
+			for i := 0; i < 24; i++ {
+				if err := k.Write(cpu, p, cold, i*hw.PageWords, hw.Word(i+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+	},
+	{
 		name: "quota-growth-truncate",
 		run: func(t *testing.T, k *Kernel) {
 			cpu, p := traceProcess(t, k)
@@ -128,7 +158,7 @@ func traceFile(t *testing.T, k *Kernel, p *uproc.Process, dir []string, name str
 func TestTraceDeterminism(t *testing.T) {
 	for _, w := range traceWorkloads {
 		t.Run(w.name, func(t *testing.T) {
-			runOnce := func() (string, trace.Snapshot) {
+			runOnce := func() (string, string, trace.Snapshot) {
 				cfg := DefaultConfig()
 				cfg.RootQuota = 10000
 				cfg.TraceEvents = 1 << 14
@@ -143,15 +173,21 @@ func TestTraceDeterminism(t *testing.T) {
 				if unknown := k.Trace.Unknown(); len(unknown) > 0 {
 					t.Errorf("events from modules outside the dependency graph: %v", unknown)
 				}
-				return trace.FormatEvents(k.Trace.Events()), k.Trace.Snapshot()
+				// The associative-memory contents are part of the
+				// determinism surface: identical runs must leave
+				// byte-identical cache state, not just event streams.
+				return trace.FormatEvents(k.Trace.Events()), k.AssocFingerprint(), k.Trace.Snapshot()
 			}
-			events1, snap1 := runOnce()
-			events2, snap2 := runOnce()
+			events1, assoc1, snap1 := runOnce()
+			events2, assoc2, snap2 := runOnce()
 			if events1 == "" {
 				t.Fatal("workload emitted no events")
 			}
 			if events1 != events2 {
 				t.Errorf("event streams differ between identical runs:\nrun1:\n%srun2:\n%s", events1, events2)
+			}
+			if assoc1 != assoc2 {
+				t.Errorf("associative memories differ between identical runs:\nrun1:\n%srun2:\n%s", assoc1, assoc2)
 			}
 			if !reflect.DeepEqual(snap1, snap2) {
 				t.Errorf("snapshots differ between identical runs:\nrun1:\n%srun2:\n%s", snap1.PromText(), snap2.PromText())
