@@ -40,6 +40,7 @@ var kindHelp = map[string]string{
 	"assoc-hit":   "translation served by the processor's associative memory (arg0 segno, arg1 page)",
 	"assoc-miss":  "translation walked the descriptor tables and filled the cache (arg0 segno, arg1 page)",
 	"assoc-clear": "associative entries invalidated (arg0: 0 page shootdown, 1 segment shootdown, 2 process switch; arg1 page/segno or -1; arg2 entries cleared)",
+	"write-error": "a grouped page write-back failed after retries and its evicted pages were lost (arg0 pages in the submission, arg1 first record address)",
 }
 
 // kindNames lists every event kind the tracer can emit or filter on.

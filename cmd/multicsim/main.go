@@ -91,6 +91,9 @@ func main() {
 	fmt.Printf("    pages evicted:            %d\n", st.Evictions)
 	fmt.Printf("    zero pages reclaimed:     %d\n", st.ZeroEvictions)
 	fmt.Printf("    translation cache:        %d hits, %d misses, %d shootdowns\n", st.AssocHits, st.AssocMisses, st.Shootdowns)
+	if st.WriteBackErrors > 0 {
+		fmt.Printf("    write-back errors:        %d\n", st.WriteBackErrors)
+	}
 	fmt.Printf("    relocation restores:      %d\n", k.Restores())
 	raised, handled := k.Signals.Stats()
 	fmt.Printf("    upward signals:           %d raised, %d handled\n", raised, handled)

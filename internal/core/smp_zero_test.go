@@ -1,0 +1,162 @@
+package core
+
+// Zero-page reclaim under multiprocessor pressure. The write-back
+// path classifies an evicted page as all-zeros by scanning its frame,
+// but a reference holding a cached PTW translation on another CPU is
+// allowed to complete against the old frame until the shootdown
+// broadcast returns — so a store can land after the scan. The evictor
+// must re-validate the zero verdict once InvalidatePTW has returned
+// and route such a page through the dirty write-back instead of
+// freeing its record; otherwise the store is silently discarded (the
+// page reverts to the quota-trapped state and rereads zero).
+//
+// Each worker owns its pages exclusively — no word of any page is
+// written by two CPUs — so the quota-trap first-touch path, which has
+// no descriptor-lock serialization, is only ever taken by one
+// processor per page. Workers oscillate their pages between zero and
+// non-zero, which keeps the zero-scan racing against their own cached
+// translations while other CPUs' fault service does the evicting.
+// Every read-after-write is verified exactly. Run with -race.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"multics/internal/aim"
+	"multics/internal/hw"
+	"multics/internal/uproc"
+)
+
+func TestSMPZeroEvictionLosesNoWrite(t *testing.T) {
+	const (
+		nCPU   = 4
+		rounds = 6
+		pgs    = 8
+	)
+	k := boot(t, func(c *Config) {
+		c.Processors = nCPU
+		c.MemFrames = 24 // working sets dwarf the pageable frames
+		c.WiredFrames = 8
+		c.RootQuota = 4096
+	})
+	if k.AssocBus == nil {
+		t.Fatal("associative memory should be on by default")
+	}
+
+	type worker struct {
+		cpu *hw.Processor
+		p   *uproc.Process
+		seg int
+	}
+	var workers []*worker
+	for i := 0; i < nCPU; i++ {
+		p, err := k.CreateProcess(fmt.Sprintf("zero%d.x", i), aim.Bottom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := k.CPUs[i]
+		k.Attach(cpu, p)
+		w := &worker{cpu: cpu, p: p}
+		name := fmt.Sprintf("osc%d", i)
+		if _, err := k.CreateFile(cpu, p, nil, name, nil, aim.Bottom); err != nil {
+			t.Fatal(err)
+		}
+		seg, err := k.OpenPath(cpu, p, []string{name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.seg = seg
+		// Materialize every page serially, then zero it so round one
+		// starts from the oscillating state.
+		for pg := 0; pg < pgs; pg++ {
+			if err := k.Write(cpu, p, seg, pg*hw.PageWords, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Write(cpu, p, seg, pg*hw.PageWords, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		workers = append(workers, w)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nCPU)
+	for wi, w := range workers {
+		wg.Add(1)
+		go func(wi int, w *worker) {
+			defer wg.Done()
+			fail := func(err error) { errs <- fmt.Errorf("worker %d: %w", wi, err) }
+			for r := 0; r < rounds; r++ {
+				for pg := 0; pg < pgs; pg++ {
+					v := hw.Word(1000*(wi+1) + 10*r + pg + 1)
+					off := pg * hw.PageWords
+					// The store may land through a cached PTW while
+					// another CPU's fault service is zero-scanning
+					// this page for eviction.
+					if err := k.Write(w.cpu, w.p, w.seg, off, v); err != nil {
+						fail(err)
+						return
+					}
+					got, err := k.Read(w.cpu, w.p, w.seg, off)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if got != v {
+						fail(fmt.Errorf("round %d page %d reads %d after writing %d (write lost to zero reclaim?)",
+							r, pg, got, v))
+						return
+					}
+					// Back to all-zero: the next eviction of this page
+					// may legitimately take the zero-reclaim path.
+					if err := k.Write(w.cpu, w.p, w.seg, off, 0); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}(wi, w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := k.Frames.Stats()
+	if st.Evictions == 0 {
+		t.Error("storm produced no evictions; the test applied no pressure")
+	}
+	if st.ZeroEvictions == 0 {
+		t.Error("storm reclaimed no zero pages; the racing path was not exercised")
+	}
+	if st.Shootdowns == 0 {
+		t.Error("storm produced no shootdowns; the cross-CPU invalidation path was not exercised")
+	}
+	if st.WriteBackErrors != 0 {
+		t.Errorf("storm recorded %d write-back errors with no fault injection", st.WriteBackErrors)
+	}
+
+	// The oscillation created and released storage charges constantly;
+	// at quiesce the books must balance exactly.
+	charged, allocated := accountingBalance(t, k)
+	if charged != allocated {
+		t.Errorf("after storm: %d pages charged vs %d records allocated", charged, allocated)
+	}
+	for wi, w := range workers {
+		if err := k.Delete(w.cpu, w.p, nil, fmt.Sprintf("osc%d", wi)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	charged, allocated = accountingBalance(t, k)
+	if charged != allocated {
+		t.Errorf("after teardown: %d pages charged vs %d records allocated", charged, allocated)
+	}
+	if bad := k.Frames.Audit(); len(bad) != 0 {
+		t.Errorf("page frame audit: %v", bad)
+	}
+	if bad := k.Segs.Audit(); len(bad) != 0 {
+		t.Errorf("segment audit: %v", bad)
+	}
+}

@@ -177,6 +177,18 @@ func (a *AssociativeMemory) clearUserLocked() int {
 	return n
 }
 
+// HoldReference runs fn while holding the associative memory's mutex —
+// the processor's reference lock. It models a processor in the middle
+// of a reference sequence that translated through this cache: until fn
+// returns, a shootdown broadcast targeting this processor cannot
+// complete. Tests of shootdown ordering use it to pin the window a
+// real reference would occupy.
+func (a *AssociativeMemory) HoldReference(fn func()) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fn()
+}
+
 // Stats returns the memory's counters.
 func (a *AssociativeMemory) Stats() AssocMemStats {
 	if a == nil {

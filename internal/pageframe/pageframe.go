@@ -169,7 +169,7 @@ type Manager struct {
 	// cache mutex.
 	caches [hw.MeterCPUs + 1]frameCache
 
-	faults, evictions, zeroEvictions int64
+	faults, evictions, zeroEvictions, writeErrors int64
 }
 
 // SetTrace routes page fetch/evict and lock-wait events to s, and
@@ -252,12 +252,21 @@ type Stats struct {
 	AssocHits     int64
 	AssocMisses   int64
 	Shootdowns    int64
+	// WriteBackErrors counts grouped write-back submissions that
+	// failed even after retries. In daemon mode the evicting caller
+	// is long gone when the page-writer hits the error, so this
+	// counter (and the write-error trace event) is the only record
+	// that evicted pages were lost.
+	WriteBackErrors int64
 }
 
 // Stats reports the manager's counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
-	st := Stats{Faults: m.faults, Evictions: m.evictions, ZeroEvictions: m.zeroEvictions}
+	st := Stats{
+		Faults: m.faults, Evictions: m.evictions,
+		ZeroEvictions: m.zeroEvictions, WriteBackErrors: m.writeErrors,
+	}
 	m.mu.Unlock()
 	if m.AssocStats != nil {
 		st.AssocHits, st.AssocMisses, st.Shootdowns = m.AssocStats()
@@ -534,8 +543,9 @@ func (m *Manager) obtainFrame() (int, []Evicted, error) {
 	}
 	m.mu.Unlock()
 
-	evs, err := m.writeBackBatch(victims)
+	evs, done, err := m.writeBackBatch(victims)
 	if err != nil {
+		m.recoverVictims(victims, done)
 		return 0, evs, err
 	}
 	// The first victim's frame satisfies the caller; the rest refill
@@ -613,10 +623,14 @@ type pendingWrite struct {
 // pack — queued to the page-writer daemon when the multi-process
 // organization is on — instead of one positioning operation per page.
 // Eviction reports are returned for every victim processed, even when
-// a later one fails. Caller must not hold m.mu.
-func (m *Manager) writeBackBatch(victims []victim) ([]Evicted, error) {
+// a later one fails, along with how many victims were disconnected
+// (descriptor made not-present and shot down) before the failure, so
+// the caller can put exactly those frames back in circulation and
+// reinstate the rest. Caller must not hold m.mu.
+func (m *Manager) writeBackBatch(victims []victim) ([]Evicted, int, error) {
 	var evs []Evicted
 	var dirty []pendingWrite
+	disconnected := 0
 	for _, v := range victims {
 		info := v.info
 		// Scan for zeros before disconnecting: a zero page's trap
@@ -625,20 +639,42 @@ func (m *Manager) writeBackBatch(victims []victim) ([]Evicted, error) {
 		// quota path, never a gap.
 		zero, err := m.mem.FrameIsZero(v.frame)
 		if err != nil {
-			return evs, err
+			return evs, disconnected, err
 		}
 		if _, err := info.pt.Update(info.page, func(d *hw.PTW) {
 			d.Present = false
 			d.Frame = 0
 			d.QuotaTrap = zero
 		}); err != nil {
-			return evs, err
+			return evs, disconnected, err
 		}
 		// Broadcast before the frame's contents are read or the
 		// frame reused: when InvalidatePTW returns, every reference
 		// that translated through a cached PTW has completed and no
 		// processor can reach the frame again.
 		m.Bus.InvalidatePTW(ModuleName, info.pt, info.page)
+		disconnected++
+		if zero {
+			// Re-validate the zero verdict now that the broadcast has
+			// retired every cached translation: a reference on another
+			// processor is allowed to complete against the old frame
+			// until InvalidatePTW returns, so a store may have landed
+			// after the scan. Such a page is not zero after all — it
+			// keeps its record and takes the write-back path, and the
+			// trap bit set above must come off again.
+			still, err := m.mem.FrameIsZero(v.frame)
+			if err != nil {
+				return evs, disconnected, err
+			}
+			if !still {
+				zero = false
+				if _, err := info.pt.Update(info.page, func(d *hw.PTW) {
+					d.QuotaTrap = false
+				}); err != nil {
+					return evs, disconnected, err
+				}
+			}
+		}
 		ev := Evicted{UID: info.uid, Page: info.page, Zero: zero}
 		if info.pack != nil {
 			ev.Pack = info.pack.ID()
@@ -655,7 +691,7 @@ func (m *Manager) writeBackBatch(victims []victim) ([]Evicted, error) {
 			m.mu.Unlock()
 			if info.hasRecord {
 				if err := info.pack.FreeRecord(info.record); err != nil {
-					return evs, err
+					return evs, disconnected, err
 				}
 				ev.FreedRecord = true
 			}
@@ -663,30 +699,48 @@ func (m *Manager) writeBackBatch(victims []victim) ([]Evicted, error) {
 			continue
 		}
 		if !info.hasRecord {
-			return evs, fmt.Errorf("pageframe: dirty page %d of segment %d has no record", info.page, info.uid)
+			return evs, disconnected, fmt.Errorf("pageframe: dirty page %d of segment %d has no record", info.page, info.uid)
 		}
 		buf := make([]hw.Word, hw.PageWords)
 		if err := m.mem.ReadFrame(v.frame, buf); err != nil {
-			return evs, err
+			return evs, disconnected, err
 		}
 		dirty = append(dirty, pendingWrite{pack: info.pack, rec: info.record, buf: buf})
 		evs = append(evs, ev)
 	}
 	if len(dirty) == 0 {
-		return evs, nil
+		return evs, disconnected, nil
 	}
 	if m.Daemons && m.vps != nil {
 		if err := m.vps.Enqueue(PageWriterModule, func() {
-			_ = m.flushWrites(dirty)
+			if err := m.flushWrites(dirty); err != nil {
+				m.noteWriteError(len(dirty), dirty[0].rec)
+			}
 		}); err != nil {
-			return evs, err
+			return evs, disconnected, err
 		}
-		return evs, nil
+		return evs, disconnected, nil
 	}
 	if err := m.flushWrites(dirty); err != nil {
-		return evs, fmt.Errorf("pageframe: writing back %d evicted pages: %w", len(dirty), err)
+		m.noteWriteError(len(dirty), dirty[0].rec)
+		return evs, disconnected, fmt.Errorf("pageframe: writing back %d evicted pages: %w", len(dirty), err)
 	}
-	return evs, nil
+	return evs, disconnected, nil
+}
+
+// noteWriteError records a grouped write-back submission that failed
+// after retries: the counter feeds Stats, and the trace event is the
+// durable record — in daemon mode the evicting caller has long
+// returned and the frames are already reused, so nothing can be
+// unwound and the loss must not be silent.
+func (m *Manager) noteWriteError(pages int, first disk.RecordAddr) {
+	m.mu.Lock()
+	m.writeErrors++
+	m.mu.Unlock()
+	m.emit(trace.Event{
+		Kind: trace.EvWriteError, Module: ModuleName,
+		Arg0: int64(pages), Arg1: int64(first),
+	})
 }
 
 // flushWrites submits the gathered dirty pages, one batched write per
@@ -727,6 +781,26 @@ func (m *Manager) releaseFrame(frame int) {
 	m.free = append(m.free, frame)
 }
 
+// recoverVictims returns a failed write-back pass's frames to the
+// manager's books so none leaks: the first `disconnected` victims'
+// descriptors were made not-present and shot down, so nothing can
+// reach those frames again and they go back on the free list; the
+// rest were never touched — their pages are still resident and
+// mapped — so their table entries are reinstated and the evictions
+// uncounted.
+func (m *Manager) recoverVictims(victims []victim, disconnected int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, v := range victims {
+		if i < disconnected {
+			m.free = append(m.free, v.frame)
+		} else {
+			m.frames[v.frame-m.first] = v.info
+			m.evictions--
+		}
+	}
+}
+
 // ReleaseSegment evicts every resident page belonging to pt, writing
 // contents back (or freeing records for zero pages), and returns the
 // reports. The segment manager calls it on deactivation.
@@ -750,9 +824,10 @@ func (m *Manager) ReleaseSegment(pt *hw.PageTable) ([]Evicted, error) {
 		m.evictions++
 		m.mu.Unlock()
 
-		evs, err := m.writeBackBatch([]victim{{frame: m.first + idx, info: info}})
+		evs, done, err := m.writeBackBatch([]victim{{frame: m.first + idx, info: info}})
 		out = append(out, evs...)
 		if err != nil {
+			m.recoverVictims([]victim{{frame: m.first + idx, info: info}}, done)
 			return out, err
 		}
 		m.mu.Lock()

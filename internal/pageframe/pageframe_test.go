@@ -2,12 +2,14 @@ package pageframe
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 
 	"multics/internal/coreseg"
 	"multics/internal/disk"
 	"multics/internal/hw"
+	"multics/internal/trace"
 	"multics/internal/vproc"
 )
 
@@ -526,5 +528,205 @@ func TestWaitUnlockWakeupWaitingWindow(t *testing.T) {
 	}
 	if w, err := proc.Read(8, 0); err != nil || w != 3 {
 		t.Errorf("reference after wait = %d, %v", w, err)
+	}
+}
+
+func TestEvictionWriteFailureLeaksNoFrames(t *testing.T) {
+	// A failed grouped write-back must not strand its victims'
+	// frames: they were disconnected and shot down, so they belong
+	// on the free list, not in limbo.
+	f := newFixture(t, 4)
+	for i := 0; i < 4; i++ {
+		pt := hw.NewPageTable(0, false)
+		if _, _, err := f.m.AddPage(PageReq{UID: uint64(i + 1), PT: pt, Page: 0, Pack: f.pack}); err != nil {
+			t.Fatal(err)
+		}
+		d, _ := pt.Get(0)
+		if err := f.mem.Write(f.mem.FrameBase(d.Frame), hw.Word(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.pack.SetFaultPlan(&disk.FaultPlan{Rules: []disk.Rule{{Op: disk.OpWrite, Permanent: true}}})
+	pt := hw.NewPageTable(0, false)
+	if _, _, err := f.m.AddPage(PageReq{UID: 9, PT: pt, Page: 0, Pack: f.pack}); !errors.Is(err, disk.ErrPermanent) {
+		t.Fatalf("AddPage over failing disk: %v, want ErrPermanent", err)
+	}
+	if free := f.m.FreeFrames(); free != 4 {
+		t.Errorf("free frames after failed eviction = %d, want all 4 victims recovered", free)
+	}
+	if bad := f.m.Audit(); len(bad) != 0 {
+		t.Errorf("audit after failed eviction: %v", bad)
+	}
+	if n := f.m.Stats().WriteBackErrors; n != 1 {
+		t.Errorf("write-back errors = %d, want 1", n)
+	}
+	// With the device healthy again every frame is allocatable.
+	f.pack.SetFaultPlan(nil)
+	for i := 0; i < 4; i++ {
+		pt := hw.NewPageTable(0, false)
+		if _, _, err := f.m.AddPage(PageReq{UID: uint64(20 + i), PT: pt, Page: 0, Pack: f.pack}); err != nil {
+			t.Fatalf("AddPage %d after recovery: %v", i, err)
+		}
+	}
+}
+
+func TestEvictionMidBatchFailureReinstatesUnreachedVictims(t *testing.T) {
+	// When the write-back pass dies partway through a batch, victims
+	// it never reached are still resident and mapped — they must go
+	// back in the in-use table, not leak.
+	f := newFixture(t, 2)
+	f.m.FrameBatch = 2
+	// First frame: a recordless zero-fill page that is then dirtied;
+	// evicting it fails (a dirty page must have a record).
+	ptA := hw.NewPageTable(1, false)
+	if _, err := f.m.LoadPage(PageReq{UID: 1, PT: ptA, Page: 0, Pack: f.pack}); err != nil {
+		t.Fatal(err)
+	}
+	dA, _ := ptA.Get(0)
+	if err := f.mem.Write(f.mem.FrameBase(dA.Frame), 11); err != nil {
+		t.Fatal(err)
+	}
+	// Second frame: an ordinary dirty page with a record.
+	recB := f.storedPage(t, 22)
+	ptB := hw.NewPageTable(1, false)
+	if _, err := f.m.LoadPage(PageReq{UID: 2, PT: ptB, Page: 0, Pack: f.pack, Record: recB, HasRecord: true}); err != nil {
+		t.Fatal(err)
+	}
+	dB, _ := ptB.Get(0)
+	if err := f.mem.Write(f.mem.FrameBase(dB.Frame), 33); err != nil {
+		t.Fatal(err)
+	}
+	// A third page forces a two-victim pass that dies on the first.
+	pt3 := hw.NewPageTable(1, false)
+	if _, err := f.m.LoadPage(PageReq{UID: 3, PT: pt3, Page: 0, Pack: f.pack}); err == nil {
+		t.Fatal("evicting a dirty recordless page should fail")
+	}
+	if free := f.m.FreeFrames(); free != 1 {
+		t.Errorf("free frames = %d, want 1 (the disconnected victim's)", free)
+	}
+	if got := frameWord(t, f.mem, ptB, 0, 0); got != 33 {
+		t.Errorf("unreached victim's page holds %d, want 33", got)
+	}
+	if ev := f.m.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1 (reinstated victim uncounted)", ev)
+	}
+	if bad := f.m.Audit(); len(bad) != 0 {
+		t.Errorf("audit after mid-batch failure: %v", bad)
+	}
+}
+
+func TestZeroEvictionRevalidatesAfterShootdown(t *testing.T) {
+	// The zero-page verdict is sampled before the victim's descriptor
+	// comes down, but a reference on another processor that translated
+	// through a cached PTW may legitimately store into the frame until
+	// the shootdown broadcast returns. The evictor must re-scan after
+	// the broadcast: such a page is not zero — its record survives, the
+	// quota trap comes off, and the store is written back rather than
+	// silently discarded.
+	f := newFixture(t, 1)
+	bus := hw.NewShootdownBus()
+	assoc := hw.NewAssociativeMemory()
+	bus.Attach(assoc)
+	f.m.Bus = bus
+
+	ptA := hw.NewPageTable(0, false)
+	recA, _, err := f.m.AddPage(PageReq{UID: 1, PT: ptA, Page: 0, Pack: f.pack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dA, _ := ptA.Get(0)
+	frame := dA.Frame
+
+	// A "processor" mid-reference: it holds its reference lock, so the
+	// shootdown broadcast cannot return until it finishes. It waits for
+	// the evictor to take the descriptor down — proof the zero scan
+	// already ran — then lands a store through its stale translation.
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		assoc.HoldReference(func() {
+			close(ready) // reference lock is held from here on
+			for {
+				d, err := ptA.Get(0)
+				if err != nil {
+					done <- err
+					return
+				}
+				if !d.Present {
+					break
+				}
+				runtime.Gosched()
+			}
+			done <- f.mem.Write(f.mem.FrameBase(frame)+3, 99)
+		})
+	}()
+
+	// Demand the only frame: page A is evicted while the reference is
+	// in flight.
+	<-ready
+	ptB := hw.NewPageTable(0, false)
+	_, evs, err := f.m.AddPage(PageReq{UID: 2, PT: ptB, Page: 0, Pack: f.pack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("evictions = %+v, want one", evs)
+	}
+	if evs[0].Zero || evs[0].FreedRecord {
+		t.Fatalf("eviction = %+v: racing store classified zero and its record freed", evs[0])
+	}
+	d, _ := ptA.Get(0)
+	if d.Present || d.QuotaTrap {
+		t.Errorf("descriptor after revalidated eviction = %+v, want not-present without quota trap", d)
+	}
+	if z := f.m.Stats().ZeroEvictions; z != 0 {
+		t.Errorf("zeroEvictions = %d, want 0", z)
+	}
+	// The store survived to disk and a reload sees it.
+	if _, err := f.m.LoadPage(PageReq{UID: 1, PT: ptA, Page: 0, Pack: f.pack, Record: recA, HasRecord: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := frameWord(t, f.mem, ptA, 0, 3); got != 99 {
+		t.Errorf("reloaded word = %d, want the store that raced the zero scan (99)", got)
+	}
+}
+
+func TestDaemonWriteBackErrorIsCounted(t *testing.T) {
+	// In daemon mode the evicting caller cannot see a write-back
+	// failure — the counter and the write-error event must record it.
+	f := newFixture(t, 1)
+	f.m.Daemons = true
+	rec := trace.NewRecorder(64, f.meter)
+	f.m.SetTrace(rec)
+	pt1 := hw.NewPageTable(0, false)
+	if _, _, err := f.m.AddPage(PageReq{UID: 1, PT: pt1, Page: 0, Pack: f.pack}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := pt1.Get(0)
+	if err := f.mem.Write(f.mem.FrameBase(d.Frame), 55); err != nil {
+		t.Fatal(err)
+	}
+	f.pack.SetFaultPlan(&disk.FaultPlan{Rules: []disk.Rule{{Op: disk.OpWrite, Permanent: true}}})
+	pt2 := hw.NewPageTable(0, false)
+	if _, _, err := f.m.AddPage(PageReq{UID: 2, PT: pt2, Page: 0, Pack: f.pack}); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.m.Stats().WriteBackErrors; n != 1 {
+		t.Errorf("write-back errors = %d, want 1", n)
+	}
+	found := false
+	for _, e := range rec.Events() {
+		if e.Kind == trace.EvWriteError {
+			if e.Arg0 != 1 {
+				t.Errorf("write-error event reports %d pages, want 1", e.Arg0)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no write-error event in the trace")
 	}
 }

@@ -110,9 +110,14 @@ const (
 	// shootdown, 2 a process switch; Arg1 the page or segment
 	// number, -1 for a process switch; Arg2 the entries cleared).
 	EvAssocClear
+	// EvWriteError: a grouped page write-back submission failed even
+	// after retries, losing the evicted pages' contents (Arg0 is the
+	// number of pages in the failed submission, Arg1 the first
+	// record address).
+	EvWriteError
 
 	// NumKinds is the size of per-kind counter arrays.
-	NumKinds = int(EvAssocClear) + 1
+	NumKinds = int(EvWriteError) + 1
 )
 
 var kindNames = [NumKinds]string{
@@ -120,7 +125,7 @@ var kindNames = [NumKinds]string{
 	"dispatch", "ipc", "process-swap", "disk-read", "disk-write",
 	"quota-check", "signal-raise", "signal-handle", "await", "advance",
 	"fault-injected", "salvage-repair", "assoc-hit", "assoc-miss",
-	"assoc-clear",
+	"assoc-clear", "write-error",
 }
 
 func (k Kind) String() string {
