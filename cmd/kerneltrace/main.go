@@ -14,12 +14,21 @@
 // kinds (comma-separated); -kinds alone lists every kind the tracer
 // knows, including the associative-memory triple (assoc-hit,
 // assoc-miss, assoc-clear) added with the translation cache.
+//
+// With -spans the report adds the latency observatory: per
+// (module, span kind) log₂ latency histograms with p50/p99/max (the
+// percentiles are bucket upper bounds, deterministic overestimates of
+// at most 2×) and a critical-path decomposition showing where each
+// compound operation's cycles went. With -flame the command instead
+// emits the retained spans in collapsed-stack format for standard
+// flamegraph tooling and prints nothing else.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"multics/internal/aim"
@@ -69,6 +78,8 @@ func usage() {
 func main() {
 	kindFilter := flag.String("kind", "", "restrict the printed event sample to these comma-separated kinds")
 	listKinds := flag.Bool("kinds", false, "list the event kinds and exit")
+	showSpans := flag.Bool("spans", false, "print span latency histograms and the critical-path decomposition")
+	flame := flag.Bool("flame", false, "emit folded-stack (flamegraph) lines for the workload's spans and exit")
 	flag.Usage = usage
 	flag.Parse()
 	if *listKinds {
@@ -89,6 +100,13 @@ func main() {
 	k, err := core.Boot(cfg)
 	check(err)
 	rec := k.Trace
+
+	if *flame {
+		workload(k)
+		fmt.Print(trace.FoldedStacks(rec.Spans()))
+		failOnUnknown(rec)
+		return
+	}
 
 	fmt.Println("kerneltrace: kernel-wide event tracing and per-module meters")
 	fmt.Println()
@@ -126,11 +144,95 @@ func main() {
 	snap := rec.Snapshot()
 	fmt.Print(snap.Table(k.CertificationOrder()))
 	fmt.Println()
+	if *showSpans {
+		printSpans(rec, snap)
+		fmt.Println()
+	}
 	fmt.Print(snap.PromText())
 
+	failOnUnknown(rec)
+}
+
+func failOnUnknown(rec *trace.Recorder) {
 	if unknown := rec.Unknown(); len(unknown) > 0 {
 		fmt.Fprintf(os.Stderr, "kerneltrace: events arrived from modules not in the dependency graph: %v\n", unknown)
 		os.Exit(1)
+	}
+}
+
+// printSpans renders the latency observatory: the per-(module, kind)
+// histograms and a decomposition of each compound operation's cycles
+// into its child spans' shares, computed from the retained spans.
+func printSpans(rec *trace.Recorder, snap trace.Snapshot) {
+	keys := make([]trace.SpanKey, 0, len(snap.Spans))
+	for key := range snap.Spans {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Module != keys[j].Module {
+			return keys[i].Module < keys[j].Module
+		}
+		return keys[i].Kind < keys[j].Kind
+	})
+	fmt.Println("span latency by (module, kind) — p50/p99 are log2 bucket upper bounds:")
+	for _, key := range keys {
+		h := snap.Spans[key]
+		fmt.Printf("    %-26s %-13s %6d spans %10d cyc (self %10d)  p50 %7d  p99 %7d  max %7d\n",
+			key.Module, key.Kind, h.Count, h.Cycles, h.Self(), h.Percentile(0.50), h.Percentile(0.99), h.Max)
+	}
+
+	// Aggregate, over the retained spans, each (module, kind)'s total
+	// cycles and its children's contributions, to show where the time
+	// inside each compound operation went.
+	spans := rec.Spans()
+	byID := make(map[uint64]*trace.Span, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	total := make(map[trace.SpanKey]int64)
+	childOf := make(map[trace.SpanKey]map[string]int64)
+	for i := range spans {
+		sp := &spans[i]
+		key := trace.SpanKey{Module: sp.Module, Kind: sp.Kind}
+		total[key] += sp.Cycles()
+		if parent, ok := byID[sp.Parent]; ok {
+			pk := trace.SpanKey{Module: parent.Module, Kind: parent.Kind}
+			if childOf[pk] == nil {
+				childOf[pk] = make(map[string]int64)
+			}
+			childOf[pk][sp.Module+":"+sp.Kind.String()] += sp.Cycles()
+		}
+	}
+	fmt.Println()
+	fmt.Println("critical-path decomposition (share of each compound operation, from retained spans):")
+	for _, key := range keys {
+		kids := childOf[key]
+		tot := total[key]
+		if len(kids) == 0 || tot <= 0 {
+			continue
+		}
+		names := make([]string, 0, len(kids))
+		var inKids int64
+		for name, cyc := range kids {
+			names = append(names, name)
+			inKids += cyc
+		}
+		// Largest share first; ties by name for determinism.
+		sort.Slice(names, func(i, j int) bool {
+			if kids[names[i]] != kids[names[j]] {
+				return kids[names[i]] > kids[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		parts := make([]string, 0, len(names)+1)
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%.1f%% %s", 100*float64(kids[name])/float64(tot), name))
+		}
+		self := tot - inKids
+		if self > 0 {
+			parts = append(parts, fmt.Sprintf("%.1f%% self", 100*float64(self)/float64(tot)))
+		}
+		fmt.Printf("    %s %s = %s\n", key.Module, key.Kind, strings.Join(parts, " + "))
 	}
 }
 

@@ -1,14 +1,15 @@
 // Command multicsim boots Kernel/Multics and runs a scripted
 // timesharing workload against it, printing a trace of what the
 // kernel did: faults serviced, pages moved, quota charged, relocation
-// signals dispatched, and the certification order of the booted
-// structure.
+// signals dispatched, the per-process top-talkers table from the span
+// tracer, and the certification order of the booted structure.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"multics/internal/aim"
@@ -34,6 +35,9 @@ func main() {
 	cfg.VProcs = *vprocs
 	cfg.RootQuota = 100000
 	cfg.Packs = []core.PackSpec{{ID: "dska", Records: 8192}, {ID: "dskb", Records: 8192}}
+	// Tracing on: the span layer attributes kernel cycles to the
+	// running process for the top-talkers table.
+	cfg.TraceEvents = 1 << 15
 
 	k, err := core.Boot(cfg)
 	if err != nil {
@@ -100,6 +104,8 @@ func main() {
 	fmt.Printf("    kernel daemon dispatches: %d\n", k.VProcs.Dispatches())
 	fmt.Printf("    simulated cycles:         %d\n", k.Meter.Cycles())
 
+	topTalkers(k)
+
 	if *runAudit {
 		fmt.Println("\nPost-workload audit:")
 		report := audit.Run(k)
@@ -109,6 +115,42 @@ func main() {
 			fmt.Print(report)
 			os.Exit(1)
 		}
+	}
+}
+
+// topTalkers prints the processes that cost the kernel the most,
+// from the span tracer's per-process accounting: the self-time of
+// every span that completed while the process was running on the
+// span's processor.
+func topTalkers(k *core.Kernel) {
+	snap := k.Trace.Snapshot()
+	if len(snap.Procs) == 0 {
+		return
+	}
+	pids := make([]uint64, 0, len(snap.Procs))
+	for pid := range snap.Procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool {
+		a, b := snap.Procs[pids[i]], snap.Procs[pids[j]]
+		if a.Cycles != b.Cycles {
+			return a.Cycles > b.Cycles
+		}
+		return pids[i] < pids[j]
+	})
+	const top = 10
+	fmt.Println("\nTop talkers (kernel span self-cycles attributed to the running process):")
+	for i, pid := range pids {
+		if i >= top {
+			fmt.Printf("    ... and %d more\n", len(pids)-top)
+			break
+		}
+		who := fmt.Sprintf("pid %d", pid)
+		if p, err := k.Procs.Lookup(pid); err == nil {
+			who = fmt.Sprintf("%s (pid %d)", p.Principal(), pid)
+		}
+		pa := snap.Procs[pid]
+		fmt.Printf("    %-28s %10d cyc across %d spans\n", who, pa.Cycles, pa.Spans)
 	}
 }
 

@@ -27,6 +27,11 @@ var ErrFaultLoop = errors.New("core: reference faulted without progress")
 func (k *Kernel) Attach(cpu *hw.Processor, p *uproc.Process) {
 	cpu.SwitchUserDT(p.DT())
 	cpu.Ring = hw.UserRing
+	if k.Trace != nil {
+		// Span self-time on this processor is attributed to p from
+		// here on.
+		k.Trace.SetRunningProcess(p.ID())
+	}
 }
 
 // CreateProcess makes a user process for an authenticated principal.
@@ -225,7 +230,12 @@ func (k *Kernel) Write(cpu *hw.Processor, p *uproc.Process, segno, off int, w hw
 // hardware fault, handle the fault in ring zero, dispatch any upward
 // signals after the handling chain unwinds, and rereference.
 func (k *Kernel) access(cpu *hw.Processor, p *uproc.Process, segno, off int, write bool, w hw.Word) (hw.Word, error) {
-	const maxFaults = 64
+	// The cap exists to turn a service that genuinely cannot make
+	// progress into an error rather than a hang. It is generous
+	// because heavy multiprocessor paging can legitimately evict a
+	// just-fetched page before the faulter rereferences, several
+	// times in a row, without anything being wrong.
+	const maxFaults = 256
 	for tries := 0; tries < maxFaults; tries++ {
 		var val hw.Word
 		var err error

@@ -145,6 +145,7 @@ type Pack struct {
 	toc     []TOCEntry
 	meter   *hw.CostMeter
 	sink    trace.Sink
+	spans   trace.SpanSink
 	faults  *FaultPlan
 }
 
@@ -153,6 +154,7 @@ type Pack struct {
 func (p *Pack) SetTrace(s trace.Sink) {
 	p.mu.Lock()
 	p.sink = s
+	p.spans = trace.SpanSinkOf(s)
 	p.mu.Unlock()
 }
 
@@ -334,6 +336,10 @@ func (p *Pack) ReadRecord(r RecordAddr, dst []hw.Word) error {
 	if r < 0 || int(r) >= p.capacity {
 		return fmt.Errorf("disk: record %d outside pack %s", r, p.id)
 	}
+	if p.spans != nil {
+		p.spans.BeginSpan(trace.SpanDiskRead, ModuleName, int64(r))
+		defer p.spans.EndSpan(trace.SpanDiskRead)
+	}
 	if err := p.faults.checkOp(OpRead, p.id, false); err != nil {
 		p.noteInjected(int64(OpRead), err)
 		return err
@@ -362,6 +368,10 @@ func (p *Pack) WriteRecord(r RecordAddr, src []hw.Word) error {
 	}
 	if r < 0 || int(r) >= p.capacity {
 		return fmt.Errorf("disk: record %d outside pack %s", r, p.id)
+	}
+	if p.spans != nil {
+		p.spans.BeginSpan(trace.SpanDiskWrite, ModuleName, int64(r))
+		defer p.spans.EndSpan(trace.SpanDiskWrite)
 	}
 	if err := p.faults.checkOp(OpWrite, p.id, true); err != nil {
 		p.noteInjected(int64(OpWrite), err)
@@ -405,6 +415,10 @@ func (p *Pack) WriteRecordBatch(recs []RecordAddr, bufs [][]hw.Word) error {
 		if r < 0 || int(r) >= p.capacity {
 			return fmt.Errorf("disk: record %d outside pack %s", r, p.id)
 		}
+	}
+	if p.spans != nil {
+		p.spans.BeginSpan(trace.SpanDiskWrite, ModuleName, int64(len(recs)))
+		defer p.spans.EndSpan(trace.SpanDiskWrite)
 	}
 	for i, r := range recs {
 		if err := p.faults.checkOp(OpWrite, p.id, true); err != nil {
@@ -653,6 +667,7 @@ func (v *Volumes) Mount(p *Pack) error {
 	p.mu.Lock()
 	p.mounted = true
 	p.sink = v.sink
+	p.spans = trace.SpanSinkOf(v.sink)
 	p.faults = v.faults
 	p.mu.Unlock()
 	v.packs[p.ID()] = p

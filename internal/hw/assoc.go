@@ -291,6 +291,10 @@ func (b *ShootdownBus) InvalidatePTW(module string, pt *PageTable, page int) {
 		return
 	}
 	mems, sink := b.targets()
+	ss := trace.SpanSinkOf(sink)
+	if ss != nil {
+		ss.BeginSpan(trace.SpanShootdown, module, int64(page))
+	}
 	n := 0
 	for _, a := range mems {
 		n += a.invalidatePTW(pt, page)
@@ -302,6 +306,9 @@ func (b *ShootdownBus) InvalidatePTW(module string, pt *PageTable, page int) {
 			Arg0: 0, Arg1: int64(page), Arg2: int64(n),
 		})
 	}
+	if ss != nil {
+		ss.EndSpan(trace.SpanShootdown)
+	}
 }
 
 // InvalidateSDW broadcasts a segment shootdown: every processor
@@ -312,6 +319,10 @@ func (b *ShootdownBus) InvalidateSDW(module string, dt *DescriptorTable, segno i
 		return
 	}
 	mems, sink := b.targets()
+	ss := trace.SpanSinkOf(sink)
+	if ss != nil {
+		ss.BeginSpan(trace.SpanShootdown, module, int64(segno))
+	}
 	n := 0
 	for _, a := range mems {
 		n += a.invalidateSDW(dt, segno)
@@ -322,5 +333,8 @@ func (b *ShootdownBus) InvalidateSDW(module string, dt *DescriptorTable, segno i
 			Kind: trace.EvAssocClear, Module: module,
 			Arg0: 1, Arg1: int64(segno), Arg2: int64(n),
 		})
+	}
+	if ss != nil {
+		ss.EndSpan(trace.SpanShootdown)
 	}
 }

@@ -360,7 +360,17 @@ func (p *Processor) GateCall(to int, gate bool, fn func() error) error {
 		return p.fault(&Fault{Kind: FaultGate, Ring: p.Ring}, CycFault)
 	}
 	from := p.Ring
+	// The gate span covers both crossings and the kernel body between
+	// them, attributed like the crossing events.
+	var ss trace.SpanSink
 	if to != from {
+		if ss = trace.SpanSinkOf(p.Trace); ss != nil {
+			mod := p.GateModule
+			if mod == "" {
+				mod = UnattributedModule
+			}
+			ss.BeginSpan(trace.SpanGate, mod, int64(to))
+		}
 		p.Meter.Add(CycRingCross)
 		p.emitCross(from, to)
 	}
@@ -370,6 +380,9 @@ func (p *Processor) GateCall(to int, gate bool, fn func() error) error {
 	if to != from {
 		p.Meter.Add(CycRingCross)
 		p.emitCross(to, from)
+		if ss != nil {
+			ss.EndSpan(trace.SpanGate)
+		}
 	}
 	return err
 }

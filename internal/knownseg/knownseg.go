@@ -314,6 +314,13 @@ func (m *Manager) ServiceQuotaFault(k *KST, segno, page int, savedState any) err
 		return err
 	}
 	newAddr, err := m.segs.Grow(e.UID, page, segno, page)
+	if errors.Is(err, segment.ErrGrowRace) {
+		// Lost the race with a zero-page reclaim mid-flight on
+		// another processor. Nothing was charged or allocated;
+		// returning success makes the caller rereference, which
+		// faults again once the reclaim has finished.
+		return nil
+	}
 	if err != nil {
 		return err
 	}

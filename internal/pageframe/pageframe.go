@@ -87,6 +87,14 @@ type PageReq struct {
 	// locked-descriptor register holds).
 	NotifySeg  int
 	NotifyPage int
+	// KeepLocked makes AddPage publish the descriptor with the lock
+	// bit set instead of unlocking and notifying. The quota path has
+	// no hardware-set descriptor lock, so without this a concurrent
+	// eviction can take the fresh page — and zero-reclaim it — before
+	// the caller has recorded the new page in its file map, leaving
+	// the map pointing at a freed record. The caller must call Unlock
+	// with the same request once its bookkeeping is consistent.
+	KeepLocked bool
 }
 
 // An Evicted report describes one page the manager removed from
@@ -157,6 +165,7 @@ type Manager struct {
 
 	mu      lockrank.Mutex
 	sink    trace.Sink
+	spans   trace.SpanSink
 	first   int
 	frames  []frameInfo // index 0 is absolute frame `first`
 	free    []int       // absolute frame numbers
@@ -178,10 +187,20 @@ type Manager struct {
 func (m *Manager) SetTrace(s trace.Sink) {
 	m.mu.Lock()
 	m.sink = s
+	m.spans = trace.SpanSinkOf(s)
 	for _, ec := range m.unlocks {
 		ec.Trace(s, ModuleName)
 	}
 	m.mu.Unlock()
+}
+
+// spanSink reads the span sink under the manager lock, mirroring
+// emit.
+func (m *Manager) spanSink() trace.SpanSink {
+	m.mu.Lock()
+	s := m.spans
+	m.mu.Unlock()
+	return s
 }
 
 // emit sends e when tracing is on; the sink is read under the
@@ -284,6 +303,12 @@ func (m *Manager) LoadPage(req PageReq) ([]Evicted, error) {
 	if req.PT == nil {
 		return nil, errors.New("pageframe: LoadPage with nil page table")
 	}
+	// The fault-service span closes after the daemon drain below, so
+	// the write-backs a fault's evictions queued nest inside it.
+	if ss := m.spanSink(); ss != nil {
+		ss.BeginSpan(trace.SpanFaultService, ModuleName, int64(req.Page))
+		defer ss.EndSpan(trace.SpanFaultService)
+	}
 	m.meter.AddBody(bodyFaultService, m.Lang)
 
 	cur, err := req.PT.Get(req.Page)
@@ -335,6 +360,17 @@ func (m *Manager) LoadPage(req PageReq) ([]Evicted, error) {
 		})
 	}
 	m.mu.Unlock()
+	if m.Daemons {
+		// Drain the write-backs queued by this service's evictions
+		// BEFORE the descriptor goes present. The drain is disk-bound,
+		// and the faulter's descriptor still carries the lock bit the
+		// hardware set at fault time, so the fresh frame is not
+		// evictable while it runs. Draining afterwards would open a
+		// long window in which other processors' evictions could take
+		// the page back before the faulter ever rereferences — under
+		// heavy overcommit that starves the faulter into a fault loop.
+		m.vps.RunPending()
+	}
 	if _, err := req.PT.Update(req.Page, func(d *hw.PTW) {
 		d.Present = true
 		d.Frame = frame
@@ -345,10 +381,6 @@ func (m *Manager) LoadPage(req PageReq) ([]Evicted, error) {
 		return ev, err
 	}
 	m.finishService(req)
-	if m.Daemons {
-		// Let the daemon drain any write-backs queued by eviction.
-		m.vps.RunPending()
-	}
 	return ev, nil
 }
 
@@ -361,6 +393,10 @@ func (m *Manager) LoadPage(req PageReq) ([]Evicted, error) {
 func (m *Manager) AddPage(req PageReq) (disk.RecordAddr, []Evicted, error) {
 	if req.PT == nil {
 		return 0, nil, errors.New("pageframe: AddPage with nil page table")
+	}
+	if ss := m.spanSink(); ss != nil {
+		ss.BeginSpan(trace.SpanFaultService, ModuleName, int64(req.Page))
+		defer ss.EndSpan(trace.SpanFaultService)
 	}
 	m.meter.AddBody(bodyFaultService, m.Lang)
 	var rec disk.RecordAddr
@@ -404,14 +440,28 @@ func (m *Manager) AddPage(req PageReq) (disk.RecordAddr, []Evicted, error) {
 		d.QuotaTrap = false
 		d.Used = true
 		d.Modified = true
+		if req.KeepLocked {
+			// Claimed for the caller: evictors skip locked
+			// descriptors, touchers wait for the unlock.
+			d.Lock = true
+		}
 	}); err != nil {
 		return 0, ev, err
 	}
-	m.finishService(req)
+	if !req.KeepLocked {
+		m.finishService(req)
+	}
 	if m.Daemons {
 		m.vps.RunPending()
 	}
 	return rec, ev, nil
+}
+
+// Unlock releases the descriptor a KeepLocked AddPage left claimed and
+// notifies waiters. The caller invokes it exactly once per successful
+// KeepLocked service, after its file map names the new page.
+func (m *Manager) Unlock(req PageReq) {
+	m.finishService(req)
 }
 
 // finishService unlocks the descriptor (harmless if it was never
@@ -444,6 +494,7 @@ func (m *Manager) WaitUnlock(proc *hw.Processor, pt *hw.PageTable, page int) err
 		m.unlocks[key] = ec
 	}
 	target := ec.Read() + 1
+	ss := m.spans
 	m.mu.Unlock()
 
 	d, err := pt.Get(page)
@@ -455,7 +506,13 @@ func (m *Manager) WaitUnlock(proc *hw.Processor, pt *hw.PageTable, page int) err
 	}
 	m.meter.Add(hw.CycLockWait)
 	m.emit(trace.Event{Kind: trace.EvLockSpin, Module: ModuleName, Cost: hw.CycLockWait, Arg0: int64(page)})
+	if ss != nil {
+		ss.BeginSpan(trace.SpanLockWait, ModuleName, int64(page))
+	}
 	m.vps.Wait(proc, ec, target)
+	if ss != nil {
+		ss.EndSpan(trace.SpanLockWait)
+	}
 	return nil
 }
 

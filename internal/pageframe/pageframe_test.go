@@ -163,6 +163,58 @@ func TestAddPageAllocatesRecordAndZeroFrame(t *testing.T) {
 	}
 }
 
+// TestAddPageKeepLocked pins the claimed-descriptor discipline the
+// quota-growth path depends on: a KeepLocked AddPage publishes the
+// page with the lock bit held, evictors pass it over no matter the
+// pressure, and only the caller's Unlock releases it. Without this a
+// concurrent eviction could zero-reclaim the fresh page before the
+// grower records it in the file map.
+func TestAddPageKeepLocked(t *testing.T) {
+	f := newFixture(t, 4)
+	pt := hw.NewPageTable(0, false)
+	req := PageReq{UID: 1, PT: pt, Page: 0, Pack: f.pack, KeepLocked: true}
+	if _, _, err := f.m.AddPage(req); err != nil {
+		t.Fatal(err)
+	}
+	d, err := pt.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Present || !d.Lock {
+		t.Fatalf("descriptor after KeepLocked AddPage = %+v, want present and locked", d)
+	}
+
+	// Exhaust memory: every pageable frame is demanded while the
+	// claimed page is ineligible.
+	for i := 0; i < 6; i++ {
+		other := hw.NewPageTable(0, false)
+		if _, _, err := f.m.AddPage(PageReq{UID: uint64(i + 2), PT: other, Page: 0, Pack: f.pack}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, _ = pt.Get(0)
+	if !d.Present || !d.Lock {
+		t.Fatalf("claimed page lost under pressure: %+v", d)
+	}
+
+	f.m.Unlock(req)
+	d, _ = pt.Get(0)
+	if d.Lock {
+		t.Error("descriptor still locked after Unlock")
+	}
+	// Released, the page is an ordinary eviction candidate again.
+	for i := 0; i < 6; i++ {
+		other := hw.NewPageTable(0, false)
+		if _, _, err := f.m.AddPage(PageReq{UID: uint64(i + 20), PT: other, Page: 0, Pack: f.pack}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, _ = pt.Get(0)
+	if d.Present {
+		t.Error("unlocked page never evicted under full pressure")
+	}
+}
+
 func TestAddPageFullPackReturnsUpTheChain(t *testing.T) {
 	f := newFixture(t, 4)
 	for f.pack.FreeRecords() > 0 {

@@ -62,6 +62,15 @@ var ErrNotActive = errors.New("segment: not active")
 // cell tries to grow.
 var ErrNoQuotaCell = errors.New("segment: no governing quota cell")
 
+// ErrGrowRace is returned when a quota-fault service observes a page
+// that the file map still calls stored. That is the window of a
+// zero-page reclaim on another processor: the trap bit goes onto the
+// page descriptor first and the record is freed a moment later, so a
+// reference that faults in between sees the trap with a stale map.
+// The service should simply retry the reference; by the time it
+// faults again the reclaim has finished and the growth path applies.
+var ErrGrowRace = errors.New("segment: page mid-reclaim")
+
 // A CellRef names an optional governing quota cell, for callers that
 // carry the binding around before activation. UID is the unique
 // identifier of the quota directory owning the cell; it is recorded
@@ -416,16 +425,28 @@ func (m *Manager) Grow(uid uint64, page, notifySeg, notifyPage int) (*disk.SegAd
 		return nil, err
 	}
 	if page < len(e.Map) && e.Map[page].State == disk.PageStored {
-		return nil, fmt.Errorf("segment: page %d of %d is already stored", page, uid)
+		return nil, fmt.Errorf("%w: page %d of %d still stored", ErrGrowRace, page, uid)
 	}
 	// Check and charge quota: the O(1) static-cell probe.
 	if err := m.cells.Charge(a.cell, 1); err != nil {
 		return nil, err
 	}
-	rec, ev, err := m.frames.AddPage(pageframe.PageReq{
+	// The descriptor is published with the lock bit held (KeepLocked)
+	// and released only after the file map names the new page: between
+	// the two, a concurrent eviction could otherwise zero-reclaim the
+	// still-zero frame and free its record while this call goes on to
+	// mark the map stored — a map entry naming a freed record.
+	req := pageframe.PageReq{
 		UID: uid, PT: a.pt, Page: page, Pack: pack,
-		NotifySeg: notifySeg, NotifyPage: notifyPage,
-	})
+		NotifySeg: notifySeg, NotifyPage: notifyPage, KeepLocked: true,
+	}
+	rec, ev, err := m.frames.AddPage(req)
+	locked := err == nil
+	defer func() {
+		if locked {
+			m.frames.Unlock(req)
+		}
+	}()
 	if aerr := m.applyEvictions(ev); aerr != nil {
 		return nil, aerr
 	}
@@ -446,10 +467,12 @@ func (m *Manager) Grow(uid uint64, page, notifySeg, notifyPage int) (*disk.SegAd
 		if perr != nil {
 			return &newAddr, perr
 		}
-		rec, ev, err = m.frames.AddPage(pageframe.PageReq{
+		req = pageframe.PageReq{
 			UID: uid, PT: a.pt, Page: page, Pack: newPack,
-			NotifySeg: notifySeg, NotifyPage: notifyPage,
-		})
+			NotifySeg: notifySeg, NotifyPage: notifyPage, KeepLocked: true,
+		}
+		rec, ev, err = m.frames.AddPage(req)
+		locked = err == nil
 		if aerr := m.applyEvictions(ev); aerr != nil {
 			return &newAddr, aerr
 		}

@@ -43,6 +43,101 @@ func TestConcurrentEmitGapFreeSeq(t *testing.T) {
 	}
 }
 
+// TestConcurrentRingWrap overruns a small ring from many goroutines
+// at once and requires exact accounting: Dropped reports precisely the
+// overrun, Events returns exactly the newest capacity events in
+// sequence order, and the unregistered emitter is flagged by Unknown.
+func TestConcurrentRingWrap(t *testing.T) {
+	const capacity, emitters, perEmitter = 64, 8, 500
+	const total = emitters * perEmitter
+	r := NewRecorder(capacity, nil)
+	r.Register("m")
+	var wg sync.WaitGroup
+	for i := 0; i < emitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mod := "m"
+			if i == 0 {
+				mod = "drifted" // never registered
+			}
+			for j := 0; j < perEmitter; j++ {
+				r.Emit(Event{Kind: EvIPC, Module: mod, Arg0: int64(i)})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if d := r.Dropped(); d != total-capacity {
+		t.Errorf("Dropped = %d, want %d", d, total-capacity)
+	}
+	ev := r.Events()
+	if len(ev) != capacity {
+		t.Fatalf("retained %d events, want %d", len(ev), capacity)
+	}
+	for i, e := range ev {
+		if want := uint64(total - capacity + i + 1); e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d: ring did not keep the newest in order", i, e.Seq, want)
+		}
+	}
+	if got := r.Unknown(); len(got) != 1 || got[0] != "drifted" {
+		t.Errorf("Unknown = %v, want [drifted]", got)
+	}
+	s := r.Snapshot()
+	if s.Events != total {
+		t.Errorf("snapshot events = %d, want %d", s.Events, total)
+	}
+	if n := s.Modules["m"].Ops[EvIPC] + s.Modules["drifted"].Ops[EvIPC]; n != total {
+		t.Errorf("per-module counts sum to %d, want %d: overwritten events must stay counted", n, total)
+	}
+}
+
+// TestConcurrentSpans closes spans from several bound goroutines at
+// once under the race detector and requires the aggregate accounting
+// to come out exact.
+func TestConcurrentSpans(t *testing.T) {
+	const workers, perWorker = 6, 300
+	r := NewRecorder(workers*perWorker, nil)
+	r.Register("m")
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			unbind := BindCPU(i)
+			defer unbind()
+			r.SetRunningProcess(uint64(i + 1))
+			for j := 0; j < perWorker; j++ {
+				r.BeginSpan(SpanVPDispatch, "m", int64(j))
+				r.EndSpan(SpanVPDispatch)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if m := r.SpanMismatches(); m != 0 {
+		t.Errorf("SpanMismatches = %d, want 0", m)
+	}
+	if d := r.SpansDropped(); d != 0 {
+		t.Errorf("SpansDropped = %d, want 0", d)
+	}
+	s := r.Snapshot()
+	h := s.Spans[SpanKey{Module: "m", Kind: SpanVPDispatch}]
+	if h.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	var spans int64
+	for pid, pa := range s.Procs {
+		if pid < 1 || pid > workers {
+			t.Errorf("unexpected process %d in accounting", pid)
+		}
+		spans += pa.Spans
+	}
+	if spans != workers*perWorker {
+		t.Errorf("process accounting covers %d spans, want %d", spans, workers*perWorker)
+	}
+}
+
 // TestBindCPUAttribution checks that events emitted by a goroutine
 // bound to a processor carry that processor's id, that unbound
 // emission stays unattributed, and that an emitter's own stamp wins.

@@ -260,6 +260,9 @@ type Recorder struct {
 	stats      map[string]*ModuleStats
 	registered map[string]bool
 	unknown    map[string]bool
+
+	// sp is the span machinery (see span.go), guarded by mu.
+	sp spanState
 }
 
 // DefaultCapacity is the ring capacity used when a caller passes a
@@ -273,13 +276,15 @@ func NewRecorder(capacity int, clock Clock) *Recorder {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Recorder{
+	r := &Recorder{
 		clock:      clock,
 		buf:        make([]Event, capacity),
 		stats:      make(map[string]*ModuleStats),
 		registered: make(map[string]bool),
 		unknown:    make(map[string]bool),
 	}
+	r.sp.init(capacity)
+	return r
 }
 
 // Register declares the module names instrumentation is allowed to
@@ -393,11 +398,21 @@ type Snapshot struct {
 	// Modules maps each module name seen (or registered) to its
 	// counters.
 	Modules map[string]ModuleStats
+	// Spans maps each (module, span kind) seen to its latency
+	// histogram.
+	Spans map[SpanKey]SpanStats
+	// Procs maps each user process that had span cycles attributed to
+	// its accounting.
+	Procs map[uint64]ProcStats
 }
 
 // Snapshot copies the meters. A nil recorder yields a zero snapshot.
 func (r *Recorder) Snapshot() Snapshot {
-	s := Snapshot{Modules: make(map[string]ModuleStats)}
+	s := Snapshot{
+		Modules: make(map[string]ModuleStats),
+		Spans:   make(map[SpanKey]SpanStats),
+		Procs:   make(map[uint64]ProcStats),
+	}
 	if r == nil {
 		return s
 	}
@@ -411,22 +426,39 @@ func (r *Recorder) Snapshot() Snapshot {
 	for name, st := range r.stats {
 		s.Modules[name] = *st
 	}
+	for key, h := range r.sp.stats {
+		s.Spans[key] = *h
+	}
+	for pid, pa := range r.sp.procs {
+		s.Procs[pid] = *pa
+	}
 	return s
 }
 
 // Since returns the difference s minus prev: what happened between
-// the two snapshots. Modules present in prev only are kept with
-// negated... no module ever shrinks, so every module of prev is also
-// in s and the difference is well-defined.
+// the two snapshots. The meters are monotonic — no counter ever
+// shrinks and no module, histogram, or process entry is ever removed
+// — so every key of prev also exists in s and the difference is
+// well-defined. (A key absent from prev diffs against the zero
+// value.) The one non-counter is SpanStats.Max, which stays the
+// running maximum at s rather than the interval's.
 func (s Snapshot) Since(prev Snapshot) Snapshot {
 	out := Snapshot{
 		Events:  s.Events - prev.Events,
 		Dropped: s.Dropped - prev.Dropped,
 		Cycle:   s.Cycle - prev.Cycle,
 		Modules: make(map[string]ModuleStats, len(s.Modules)),
+		Spans:   make(map[SpanKey]SpanStats, len(s.Spans)),
+		Procs:   make(map[uint64]ProcStats, len(s.Procs)),
 	}
 	for name, st := range s.Modules {
 		out.Modules[name] = st.sub(prev.Modules[name])
+	}
+	for key, h := range s.Spans {
+		out.Spans[key] = h.sub(prev.Spans[key])
+	}
+	for pid, pa := range s.Procs {
+		out.Procs[pid] = pa.sub(prev.Procs[pid])
 	}
 	return out
 }
@@ -516,6 +548,12 @@ func (s Snapshot) PromText() string {
 		st := s.Modules[name]
 		fmt.Fprintf(&b, "multics_module_cycles_total{module=%q} %d\n", name, st.TotalCycles())
 		for kind := 0; kind < NumKinds; kind++ {
+			if st.Cycles[kind] == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "multics_module_cycles_total{module=%q,kind=%q} %d\n", name, Kind(kind), st.Cycles[kind])
+		}
+		for kind := 0; kind < NumKinds; kind++ {
 			if st.Ops[kind] == 0 {
 				continue
 			}
@@ -526,6 +564,33 @@ func (s Snapshot) PromText() string {
 				fmt.Fprintf(&b, "multics_module_faults_total{module=%q,kind=%q} %d\n", name, faultNamer(kind), f)
 			}
 		}
+	}
+	for _, key := range s.spanKeys() {
+		h := s.Spans[key]
+		top := 0
+		for i := 0; i < SpanBuckets; i++ {
+			if h.Buckets[i] > 0 {
+				top = i
+			}
+		}
+		var cum int64
+		for i := 0; i <= top; i++ {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&b, "multics_span_cycles_bucket{module=%q,span=%q,le=\"%d\"} %d\n", key.Module, key.Kind, BucketUpper(i), cum)
+		}
+		fmt.Fprintf(&b, "multics_span_cycles_bucket{module=%q,span=%q,le=\"+Inf\"} %d\n", key.Module, key.Kind, h.Count)
+		fmt.Fprintf(&b, "multics_span_cycles_sum{module=%q,span=%q} %d\n", key.Module, key.Kind, h.Cycles)
+		fmt.Fprintf(&b, "multics_span_cycles_count{module=%q,span=%q} %d\n", key.Module, key.Kind, h.Count)
+	}
+	pids := make([]uint64, 0, len(s.Procs))
+	for pid := range s.Procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		pa := s.Procs[pid]
+		fmt.Fprintf(&b, "multics_process_cycles_total{pid=\"%d\"} %d\n", pid, pa.Cycles)
+		fmt.Fprintf(&b, "multics_process_spans_total{pid=\"%d\"} %d\n", pid, pa.Spans)
 	}
 	return b.String()
 }

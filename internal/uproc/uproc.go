@@ -264,6 +264,8 @@ type Manager struct {
 
 	mu      lockrank.Mutex
 	sink    trace.Sink
+	spans   trace.SpanSink
+	binder  trace.ProcessBinder
 	nextPID uint64
 	procs   map[uint64]*Process
 	ready   []uint64
@@ -275,10 +277,20 @@ type Manager struct {
 func (m *Manager) SetTrace(s trace.Sink) {
 	m.mu.Lock()
 	m.sink = s
+	m.spans = trace.SpanSinkOf(s)
+	m.binder, _ = s.(trace.ProcessBinder)
 	m.mu.Unlock()
 	if m.queue != nil {
 		m.queue.SetTrace(s)
 	}
+}
+
+// spanSink reads the span sink under the manager lock.
+func (m *Manager) spanSink() trace.SpanSink {
+	m.mu.Lock()
+	s := m.spans
+	m.mu.Unlock()
+	return s
 }
 
 // NewManager returns a user process manager multiplexing vps and
@@ -423,6 +435,12 @@ func (m *Manager) Dispatch() (*Process, error) {
 	}
 	p.state = Running
 	p.vp = vp
+	if m.binder != nil {
+		// Span self-time is now attributed to p; the binding is left
+		// in place at preemption, so the tail of a quantum span still
+		// charges the process that ran it.
+		m.binder.SetRunningProcess(p.id)
+	}
 	m.mu.Unlock()
 	return p, nil
 }
@@ -578,16 +596,27 @@ func (m *Manager) Destroy(p *Process) error {
 // preempting it. It is the simple scheduling mix used by the
 // benchmarks.
 func (m *Manager) RunQuantum(n int, body func(*Process)) (int, error) {
+	ss := m.spanSink()
 	ran := 0
 	for i := 0; i < n; i++ {
+		if ss != nil {
+			ss.BeginSpan(trace.SpanQuantum, ModuleName, int64(i))
+		}
 		p, err := m.Dispatch()
 		if err != nil {
+			if ss != nil {
+				ss.EndSpan(trace.SpanQuantum)
+			}
 			break
 		}
 		if body != nil {
 			body(p)
 		}
-		if err := m.Preempt(p); err != nil {
+		err = m.Preempt(p)
+		if ss != nil {
+			ss.EndSpan(trace.SpanQuantum)
+		}
+		if err != nil {
 			return ran, err
 		}
 		ran++
@@ -615,15 +644,26 @@ func (m *Manager) RunQuantumParallel(cpus []*hw.Processor, n int, body func(cpu 
 		go func(cpu *hw.Processor) {
 			defer wg.Done()
 			defer trace.BindCPU(cpu.ID)()
+			ss := m.spanSink()
 			for i := 0; i < n; i++ {
+				if ss != nil {
+					ss.BeginSpan(trace.SpanQuantum, ModuleName, int64(i))
+				}
 				p, err := m.Dispatch()
 				if err != nil {
+					if ss != nil {
+						ss.EndSpan(trace.SpanQuantum)
+					}
 					return
 				}
 				if body != nil {
 					body(cpu, p)
 				}
-				if err := m.Preempt(p); err != nil {
+				err = m.Preempt(p)
+				if ss != nil {
+					ss.EndSpan(trace.SpanQuantum)
+				}
+				if err != nil {
 					errMu.Lock()
 					if first == nil {
 						first = err

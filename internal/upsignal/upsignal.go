@@ -48,6 +48,7 @@ type Dispatcher struct {
 	raised     int64
 	handled    int64
 	sink       trace.Sink
+	spans      trace.SpanSink
 
 	// dispatchMu serializes Dispatch across processors, so handlers
 	// run one at a time even when several CPUs unwind fault chains
@@ -66,6 +67,7 @@ func NewDispatcher() *Dispatcher {
 func (d *Dispatcher) SetTrace(s trace.Sink) {
 	d.mu.Lock()
 	d.sink = s
+	d.spans = trace.SpanSinkOf(s)
 	d.mu.Unlock()
 }
 
@@ -153,9 +155,17 @@ func (d *Dispatcher) Dispatch() (int, error) {
 		sig := d.pending[0]
 		d.pending = d.pending[1:]
 		h := d.handlers[sig.Target]
+		ss := d.spans
 		d.mu.Unlock()
 
-		if err := h(sig); err != nil {
+		if ss != nil {
+			ss.BeginSpan(trace.SpanSignal, sig.Target, int64(n))
+		}
+		err := h(sig)
+		if ss != nil {
+			ss.EndSpan(trace.SpanSignal)
+		}
+		if err != nil {
 			return n, fmt.Errorf("upsignal: handler for %s: %w", sig.Target, err)
 		}
 		d.mu.Lock()

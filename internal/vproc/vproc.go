@@ -99,6 +99,7 @@ type Manager struct {
 	meter  *hw.CostMeter
 	procs  []*hw.Processor
 	sink   trace.Sink
+	spans  trace.SpanSink
 	// dispatches counts work items run, for the performance
 	// comparisons.
 	dispatches int64
@@ -109,6 +110,7 @@ type Manager struct {
 func (m *Manager) SetTrace(s trace.Sink) {
 	m.mu.Lock()
 	m.sink = s
+	m.spans = trace.SpanSinkOf(s)
 	m.mu.Unlock()
 }
 
@@ -226,6 +228,7 @@ func (m *Manager) RunPending() int {
 				break
 			}
 		}
+		ss := m.spans
 		if owner != nil {
 			m.meter.Add(hw.CycDispatch)
 			m.dispatches++
@@ -238,7 +241,13 @@ func (m *Manager) RunPending() int {
 		if work == nil {
 			return ran
 		}
+		if ss != nil {
+			ss.BeginSpan(trace.SpanVPDispatch, ModuleName, int64(owner.id))
+		}
 		work()
+		if ss != nil {
+			ss.EndSpan(trace.SpanVPDispatch)
+		}
 		ran++
 	}
 }

@@ -158,7 +158,7 @@ func traceFile(t *testing.T, k *Kernel, p *uproc.Process, dir []string, name str
 func TestTraceDeterminism(t *testing.T) {
 	for _, w := range traceWorkloads {
 		t.Run(w.name, func(t *testing.T) {
-			runOnce := func() (string, string, trace.Snapshot) {
+			runOnce := func() (string, string, string, trace.Snapshot) {
 				cfg := DefaultConfig()
 				cfg.RootQuota = 10000
 				cfg.TraceEvents = 1 << 14
@@ -173,18 +173,27 @@ func TestTraceDeterminism(t *testing.T) {
 				if unknown := k.Trace.Unknown(); len(unknown) > 0 {
 					t.Errorf("events from modules outside the dependency graph: %v", unknown)
 				}
+				if m := k.Trace.SpanMismatches(); m != 0 {
+					t.Errorf("%d span ends without a matching begin: instrumentation bug", m)
+				}
 				// The associative-memory contents are part of the
 				// determinism surface: identical runs must leave
 				// byte-identical cache state, not just event streams.
-				return trace.FormatEvents(k.Trace.Events()), k.AssocFingerprint(), k.Trace.Snapshot()
+				return trace.FormatEvents(k.Trace.Events()), trace.FormatSpans(k.Trace.Spans()), k.AssocFingerprint(), k.Trace.Snapshot()
 			}
-			events1, assoc1, snap1 := runOnce()
-			events2, assoc2, snap2 := runOnce()
+			events1, spans1, assoc1, snap1 := runOnce()
+			events2, spans2, assoc2, snap2 := runOnce()
 			if events1 == "" {
 				t.Fatal("workload emitted no events")
 			}
+			if spans1 == "" {
+				t.Fatal("workload completed no spans")
+			}
 			if events1 != events2 {
 				t.Errorf("event streams differ between identical runs:\nrun1:\n%srun2:\n%s", events1, events2)
+			}
+			if spans1 != spans2 {
+				t.Errorf("span streams differ between identical runs:\nrun1:\n%srun2:\n%s", spans1, spans2)
 			}
 			if assoc1 != assoc2 {
 				t.Errorf("associative memories differ between identical runs:\nrun1:\n%srun2:\n%s", assoc1, assoc2)
