@@ -14,6 +14,7 @@
 //	P10 parallel speedup                 (1/2/4 processors, makespan)
 //	P11 associative memory               (translation cache on/off)
 //	P13 fault-service latency            (span p50/p99/max, 1/2/4 CPUs)
+//	P14 deterministic parallel storm     (sim executor; gated SMP cycles)
 //
 // (P12, tail latency versus user count, is reserved by the roadmap's
 // scale-out work.)
@@ -44,6 +45,7 @@ import (
 	"multics/internal/lockrank"
 	"multics/internal/netmux"
 	"multics/internal/pageframe"
+	"multics/internal/schedsim"
 	"multics/internal/trace"
 	"multics/internal/uproc"
 )
@@ -79,6 +81,7 @@ func main() {
 	p10()
 	p11()
 	p13()
+	p14()
 	if *jsonPath != "" {
 		out, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
 		check(err)
@@ -505,15 +508,18 @@ func parallelStorm(nCPU, totalRounds, pages int, assocOff bool) (int64, int) {
 	return makespan, ops
 }
 
-// runStorm drives the parallel paging+quota workload on an
-// already-booted kernel and returns the rounds run.
-func runStorm(k *core.Kernel, nCPU, totalRounds, pages int) int {
-	type worker struct {
-		cpu   *hw.Processor
-		p     *uproc.Process
-		segno int
-	}
-	var workers []*worker
+// A stormWorker is one processor's process and private quota-bound
+// file in the parallel paging+quota workload.
+type stormWorker struct {
+	cpu   *hw.Processor
+	p     *uproc.Process
+	segno int
+}
+
+// stormWorkers creates one worker per processor, each against its own
+// quota directory.
+func stormWorkers(k *core.Kernel, nCPU int) []*stormWorker {
+	var workers []*stormWorker
 	for i := 0; i < nCPU; i++ {
 		p, err := k.CreateProcess(fmt.Sprintf("par%d.x", i), aim.Bottom)
 		check(err)
@@ -527,24 +533,37 @@ func runStorm(k *core.Kernel, nCPU, totalRounds, pages int) int {
 		check(err)
 		segno, err := k.OpenPath(cpu, p, []string{dir, "f"})
 		check(err)
-		workers = append(workers, &worker{cpu: cpu, p: p, segno: segno})
+		workers = append(workers, &stormWorker{cpu: cpu, p: p, segno: segno})
 	}
+	return workers
+}
+
+// stormRound runs one round of the workload for one worker: grow the
+// file page by page under quota, read it back, truncate it away.
+func stormRound(k *core.Kernel, wi int, w *stormWorker, r, pages int) {
+	for pg := 0; pg < pages; pg++ {
+		check(k.Write(w.cpu, w.p, w.segno, pg*hw.PageWords+r%hw.PageWords, hw.Word(wi+1)))
+	}
+	for pg := 0; pg < pages; pg++ {
+		_, err := k.Read(w.cpu, w.p, w.segno, pg*hw.PageWords+r%hw.PageWords)
+		check(err)
+	}
+	check(k.Truncate(w.cpu, w.p, w.segno, 0))
+}
+
+// runStorm drives the parallel paging+quota workload on an
+// already-booted kernel and returns the rounds run.
+func runStorm(k *core.Kernel, nCPU, totalRounds, pages int) int {
+	workers := stormWorkers(k, nCPU)
 	rounds := totalRounds / nCPU
 	var wg sync.WaitGroup
 	for wi, w := range workers {
 		wg.Add(1)
-		go func(wi int, w *worker) {
+		go func(wi int, w *stormWorker) {
 			defer wg.Done()
 			defer trace.BindCPU(w.cpu.ID)()
 			for r := 0; r < rounds; r++ {
-				for pg := 0; pg < pages; pg++ {
-					check(k.Write(w.cpu, w.p, w.segno, pg*hw.PageWords+r%hw.PageWords, hw.Word(wi+1)))
-				}
-				for pg := 0; pg < pages; pg++ {
-					_, err := k.Read(w.cpu, w.p, w.segno, pg*hw.PageWords+r%hw.PageWords)
-					check(err)
-				}
-				check(k.Truncate(w.cpu, w.p, w.segno, 0))
+				stormRound(k, wi, w, r, pages)
 			}
 		}(wi, w)
 	}
@@ -737,4 +756,57 @@ func latencyStorm(nCPU int) *core.Kernel {
 	}
 	wg.Wait()
 	return k
+}
+
+// p14 reruns the P10 parallel storm under the deterministic executor:
+// the same paging+quota workload, but the workers are cooperative
+// tasks interleaved by a seeded schedule instead of real goroutines.
+// The busiest processor's cycle account is therefore byte-reproducible
+// run over run, so — unlike the goroutine makespans, which cycleLeaves
+// skips — these multiprocessor figures are named to feed the -compare
+// regression gate.
+func p14() {
+	prev := lockrank.SetChecking(false)
+	defer lockrank.SetChecking(prev)
+	const schedSeed = 1977
+	fmt.Printf("P14 deterministic parallel storm (sim executor, seed %d):\n", schedSeed)
+	var rows []map[string]any
+	for _, nCPU := range []int{1, 2, 4} {
+		busiest, ops := simParallelStorm(nCPU, 96, 8, schedSeed)
+		fmt.Printf("    %d processors: busiest processor %9d cyc over %d rounds\n", nCPU, busiest, ops)
+		rows = append(rows, map[string]any{"processors": nCPU, "busiest_cpu_cycles": busiest, "rounds": ops})
+	}
+	fmt.Println("    [the seeded schedule pins the interleaving, so the gate holds the SMP figures too]")
+	record("P14 deterministic parallel storm", map[string]any{"per_processors": rows})
+}
+
+// simParallelStorm is parallelStorm with the workers run as tasks of
+// the deterministic executor. It returns the busiest processor's
+// cycle account and the rounds run.
+func simParallelStorm(nCPU, totalRounds, pages int, seed int64) (int64, int) {
+	k := bootKernel(func(c *core.Config) {
+		c.Processors = nCPU
+		c.MemFrames = 48
+		c.WiredFrames = 8
+	})
+	workers := stormWorkers(k, nCPU)
+	rounds := totalRounds / nCPU
+	ex := schedsim.New(schedsim.Config{Name: "kernelbench", Seed: seed})
+	for wi, w := range workers {
+		wi, w := wi, w
+		ex.Go(fmt.Sprintf("cpu%d", w.cpu.ID), func() {
+			defer trace.BindCPU(w.cpu.ID)()
+			for r := 0; r < rounds; r++ {
+				stormRound(k, wi, w, r, pages)
+			}
+		})
+	}
+	check(ex.Run())
+	var busiest int64
+	for i := 0; i < nCPU; i++ {
+		if c := k.Meter.CPUCycles(i); c > busiest {
+			busiest = c
+		}
+	}
+	return busiest, rounds * nCPU
 }

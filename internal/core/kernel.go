@@ -143,6 +143,19 @@ type Kernel struct {
 	mu lockrank.Mutex
 	// restores counts processes resumed after relocation notices.
 	restores atomic.Int64
+	// retryPressure counts references that crossed half their
+	// fault-service retry budget; retryExhausted counts references
+	// that ran the budget out entirely and failed. Together they make
+	// retry starvation visible long before it becomes an error.
+	retryPressure  atomic.Int64
+	retryExhausted atomic.Int64
+}
+
+// RetryStats reports the fault-service retry pressure: how many
+// references crossed half their retry budget (HalfBudget) and how
+// many exhausted it and failed (Exhausted).
+func (k *Kernel) RetryStats() (halfBudget, exhausted int64) {
+	return k.retryPressure.Load(), k.retryExhausted.Load()
 }
 
 // Boot builds and verifies a Kernel/Multics instance.

@@ -8,6 +8,7 @@ import (
 	"multics/internal/directory"
 	"multics/internal/hw"
 	"multics/internal/knownseg"
+	"multics/internal/trace"
 	"multics/internal/uproc"
 )
 
@@ -19,6 +20,13 @@ const bodyUserWalk = 30
 // ErrFaultLoop is returned when a reference keeps faulting without
 // making progress.
 var ErrFaultLoop = errors.New("core: reference faulted without progress")
+
+// ErrRetryBudget marks a reference that ran its whole fault-service
+// retry budget out. It wraps ErrFaultLoop, so existing callers that
+// match the generic fault loop keep working, while callers that care
+// can distinguish budget exhaustion — the starvation case the
+// retry-pressure counters track — from other no-progress loops.
+var ErrRetryBudget = fmt.Errorf("%w (retry budget exhausted)", ErrFaultLoop)
 
 // Attach binds a user process's address space to a CPU. This is the
 // process-switch point: installing a different descriptor table clears
@@ -237,6 +245,19 @@ func (k *Kernel) access(cpu *hw.Processor, p *uproc.Process, segno, off int, wri
 	// times in a row, without anything being wrong.
 	const maxFaults = 256
 	for tries := 0; tries < maxFaults; tries++ {
+		if tries == maxFaults/2 {
+			// Halfway through the budget this reference is being
+			// starved — evictions keep taking its page back before the
+			// rereference. Record it now, while the run can still be
+			// diagnosed, rather than failing silently at exhaustion.
+			k.retryPressure.Add(1)
+			if k.Trace != nil {
+				k.Trace.Emit(trace.Event{
+					Kind: trace.EvRetryPressure, Module: ModUProc,
+					Arg0: int64(segno), Arg1: int64(off), Arg2: int64(tries),
+				})
+			}
+		}
 		var val hw.Word
 		var err error
 		if write {
@@ -261,7 +282,8 @@ func (k *Kernel) access(cpu *hw.Processor, p *uproc.Process, segno, off int, wri
 		}
 		k.VProcs.RunPending()
 	}
-	return 0, fmt.Errorf("%w: segment %d offset %d", ErrFaultLoop, segno, off)
+	k.retryExhausted.Add(1)
+	return 0, fmt.Errorf("%w: segment %d offset %d after %d fault services", ErrRetryBudget, segno, off, maxFaults)
 }
 
 // dispatchSignals runs pending upward signals under the kernel's gate

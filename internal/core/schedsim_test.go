@@ -1,0 +1,529 @@
+package core
+
+// Whole-kernel tests under the deterministic virtual-time executor:
+// seeded random interleavings of a multiprocessor storm, and bounded
+// systematic sweeps that pin the two races previous PRs fixed — the
+// zero-reclaim lost-write window (PR 4) and the quota-growth
+// trap-vs-reclaim window (PR 6) — by deliberately scheduling around
+// their marked yield points instead of hoping a goroutine storm
+// happens to hit them.
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+
+	"multics/internal/aim"
+	"multics/internal/disk"
+	"multics/internal/hw"
+	"multics/internal/quota"
+	"multics/internal/schedsim"
+	"multics/internal/trace"
+	"multics/internal/uproc"
+)
+
+// schedSeed seeds the random-interleaving storms. A failing schedule
+// prints its seed; rerun with -sched-seed=<seed> to replay it exactly.
+var schedSeed = flag.Int64("sched-seed", 1977, "seed for deterministic schedule simulation; a failure prints the seed that reproduces it")
+
+type simWorker struct {
+	cpu   *hw.Processor
+	p     *uproc.Process
+	segno int
+}
+
+// simWorkers builds one process per processor, each attached to its
+// own CPU with its own root-directory file of pgs pages, materialized
+// and then zeroed so every page exists, holds a disk record, and has
+// its translation cached in its owner's associative memory.
+func simWorkers(t *testing.T, k *Kernel, n, pgs int) []*simWorker {
+	t.Helper()
+	ws := make([]*simWorker, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := k.CreateProcess(fmt.Sprintf("sim%d.x", i), aim.Bottom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := k.CPUs[i]
+		k.Attach(cpu, p)
+		name := fmt.Sprintf("sim%d", i)
+		if _, err := k.CreateFile(cpu, p, nil, name, nil, aim.Bottom); err != nil {
+			t.Fatal(err)
+		}
+		segno, err := k.OpenPath(cpu, p, []string{name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pg := 0; pg < pgs; pg++ {
+			if err := k.Write(cpu, p, segno, pg*hw.PageWords, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Write(cpu, p, segno, pg*hw.PageWords, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ws = append(ws, &simWorker{cpu: cpu, p: p, segno: segno})
+	}
+	return ws
+}
+
+// simBalance is accountingBalance without the testing.T, so sweep
+// schedules can report imbalance as an error.
+func simBalance(k *Kernel) error {
+	charged, allocated := 0, 0
+	for _, packID := range k.Vols.Packs() {
+		pack, err := k.Vols.Pack(packID)
+		if err != nil {
+			return err
+		}
+		allocated += pack.UsedRecords()
+		pack.EachEntry(func(idx disk.TOCIndex, e disk.TOCEntry) {
+			if !e.Quota.Valid {
+				return
+			}
+			cell := quota.CellName{Pack: packID, TOC: idx}
+			if k.Cells.Active(cell) {
+				if _, used, err := k.Cells.Info(cell); err == nil {
+					charged += used
+				}
+			} else {
+				charged += e.Quota.Used
+			}
+		})
+	}
+	if charged != allocated {
+		return fmt.Errorf("accounting imbalance: %d pages charged, %d records allocated", charged, allocated)
+	}
+	return nil
+}
+
+// runSimStorm drives the oscillation storm of the -race harnesses
+// (smp_zero_test.go) as cooperative schedsim tasks: every worker
+// writes, verifies, and re-zeroes its own pages, so any interleaving
+// that loses a write panics — and the panic carries the seed.
+func runSimStorm(k *Kernel, ws []*simWorker, strat schedsim.Strategy, seed int64, rounds, pgs int) (*schedsim.Executor, error) {
+	ex := schedsim.New(schedsim.Config{Name: "core-storm", Seed: seed, Strategy: strat})
+	for wi, w := range ws {
+		wi, w := wi, w
+		ex.Go(fmt.Sprintf("cpu%d", w.cpu.ID), func() {
+			defer trace.BindCPU(w.cpu.ID)()
+			for r := 0; r < rounds; r++ {
+				for pg := 0; pg < pgs; pg++ {
+					off := pg * hw.PageWords
+					v := hw.Word(1 + wi*100 + r)
+					if err := k.Write(w.cpu, w.p, w.segno, off, v); err != nil {
+						panic(fmt.Sprintf("write seg %d page %d: %v", w.segno, pg, err))
+					}
+					schedsim.Yield(schedsim.PointYield, "post-write")
+					got, err := k.Read(w.cpu, w.p, w.segno, off)
+					if err != nil {
+						panic(fmt.Sprintf("read seg %d page %d: %v", w.segno, pg, err))
+					}
+					if got != v {
+						panic(fmt.Sprintf("lost write: seg %d page %d read %d, want %d", w.segno, pg, got, v))
+					}
+					if err := k.Write(w.cpu, w.p, w.segno, off, 0); err != nil {
+						panic(fmt.Sprintf("re-zero seg %d page %d: %v", w.segno, pg, err))
+					}
+				}
+			}
+		})
+	}
+	return ex, ex.Run()
+}
+
+// TestSimStormRandomInterleavings runs the storm under several seeded
+// random schedules. Each run is a pure function of its seed: a failure
+// names the seed, and -sched-seed replays it.
+func TestSimStormRandomInterleavings(t *testing.T) {
+	for i := int64(0); i < 4; i++ {
+		seed := *schedSeed + i
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			k := boot(t, func(c *Config) {
+				c.Processors = 2
+				c.MemFrames = 24
+				c.WiredFrames = 8
+				c.RootQuota = 4096
+			})
+			ws := simWorkers(t, k, 2, 8)
+			if _, err := runSimStorm(k, ws, schedsim.Random(seed), seed, 3, 8); err != nil {
+				t.Fatal(err)
+			}
+			if st := k.Frames.Stats(); st.Evictions == 0 {
+				t.Error("storm produced no evictions: no memory pressure, nothing exercised")
+			}
+			if err := simBalance(k); err != nil {
+				t.Error(err)
+			}
+			if leaks := k.Frames.Audit(); len(leaks) != 0 {
+				t.Errorf("frame audit: %v", leaks)
+			}
+			if leaks := k.Segs.Audit(); len(leaks) != 0 {
+				t.Errorf("segment audit: %v", leaks)
+			}
+		})
+	}
+}
+
+// TestSimStormIdenticalSeedsIdenticalSchedules is the replay property
+// at whole-kernel scale: the same seed over the same workload takes
+// the same scheduling decisions, step for step.
+func TestSimStormIdenticalSeedsIdenticalSchedules(t *testing.T) {
+	run := func() []schedsim.Decision {
+		k := boot(t, func(c *Config) {
+			c.Processors = 2
+			c.MemFrames = 24
+			c.WiredFrames = 8
+			c.RootQuota = 4096
+		})
+		ws := simWorkers(t, k, 2, 8)
+		ex, err := runSimStorm(k, ws, schedsim.Random(*schedSeed), *schedSeed, 2, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ex.Decisions()
+	}
+	d1, d2 := run(), run()
+	if len(d1) != len(d2) {
+		t.Fatalf("schedule lengths differ: %d vs %d decisions", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i].String() != d2[i].String() {
+			t.Fatalf("schedules diverge at step %d:\n%v\n%v", i, d1[i], d2[i])
+		}
+	}
+}
+
+// sweepStorm is the two-task harness both window sweeps schedule
+// around. The evictor registers first, so the sticky baseline runs it
+// to completion while the toucher sits parked — runnable — at its
+// start; every zero-reclaim of the toucher's pages is then a marked
+// decision with a real alternative, and a single forced deviation
+// drops the toucher into the middle of the reclaim with its stale
+// cached translations intact.
+func sweepStorm(strat schedsim.Strategy, pgs int) (*schedsim.Executor, *Kernel, error) {
+	cfg := DefaultConfig()
+	cfg.Processors = 2
+	cfg.MemFrames = 32
+	cfg.WiredFrames = 8
+	cfg.RootQuota = 4096
+	k, err := Boot(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	type worker struct {
+		cpu   *hw.Processor
+		p     *uproc.Process
+		segno int
+	}
+	mk := func(i int, pages int) (*worker, error) {
+		p, err := k.CreateProcess(fmt.Sprintf("sw%d.x", i), aim.Bottom)
+		if err != nil {
+			return nil, err
+		}
+		cpu := k.CPUs[i]
+		k.Attach(cpu, p)
+		name := fmt.Sprintf("sw%d", i)
+		if _, err := k.CreateFile(cpu, p, nil, name, nil, aim.Bottom); err != nil {
+			return nil, err
+		}
+		segno, err := k.OpenPath(cpu, p, []string{name})
+		if err != nil {
+			return nil, err
+		}
+		// Materialize and re-zero: every page exists, holds a record,
+		// reads zero, and has its translation cached in its owner's
+		// associative memory — the precondition of both windows.
+		for pg := 0; pg < pages; pg++ {
+			if err := k.Write(cpu, p, segno, pg*hw.PageWords, 1); err != nil {
+				return nil, err
+			}
+			if err := k.Write(cpu, p, segno, pg*hw.PageWords, 0); err != nil {
+				return nil, err
+			}
+		}
+		return &worker{cpu: cpu, p: p, segno: segno}, nil
+	}
+	toucher, err := mk(0, pgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	evictor, err := mk(1, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	const evictPages = 24
+	ex := schedsim.New(schedsim.Config{Name: "sweep-storm", Strategy: strat})
+	ex.Go("evictor", func() {
+		defer trace.BindCPU(evictor.cpu.ID)()
+		for pg := 0; pg < evictPages; pg++ {
+			if err := k.Write(evictor.cpu, evictor.p, evictor.segno, pg*hw.PageWords, hw.Word(1000+pg)); err != nil {
+				panic(fmt.Sprintf("evictor write page %d: %v", pg, err))
+			}
+		}
+	})
+	ex.Go("toucher", func() {
+		defer trace.BindCPU(toucher.cpu.ID)()
+		for pg := 0; pg < pgs; pg++ {
+			off := pg * hw.PageWords
+			if err := k.Write(toucher.cpu, toucher.p, toucher.segno, off, 10); err != nil {
+				panic(fmt.Sprintf("toucher write page %d: %v", pg, err))
+			}
+			schedsim.Yield(schedsim.PointYield, "post-write")
+			got, err := k.Read(toucher.cpu, toucher.p, toucher.segno, off)
+			if err != nil {
+				panic(fmt.Sprintf("toucher read page %d: %v", pg, err))
+			}
+			if got != 10 {
+				panic(fmt.Sprintf("toucher lost write: page %d read %d, want 10", pg, got))
+			}
+		}
+	})
+	if err := ex.Run(); err != nil {
+		return ex, k, err
+	}
+	// Durability: the toucher's values must survive whatever
+	// evictions the schedule produced.
+	for pg := 0; pg < pgs; pg++ {
+		got, err := k.Read(toucher.cpu, toucher.p, toucher.segno, pg*hw.PageWords)
+		if err != nil {
+			return ex, k, fmt.Errorf("post-run read page %d: %w", pg, err)
+		}
+		if got != 10 {
+			return ex, k, fmt.Errorf("post-run page %d reads %d, want 10: write lost to reclaim", pg, got)
+		}
+	}
+	if err := simBalance(k); err != nil {
+		return ex, k, err
+	}
+	return ex, k, nil
+}
+
+// starved reports a schedule that ran a reference's whole retry budget
+// out. An adversarial schedule may legitimately park the reclaiming
+// task forever while the faulter retries — that is scheduler
+// starvation, not a kernel bug — so sweeps tolerate these schedules
+// (their counters still record how far they got) rather than failing.
+func starved(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "retry budget exhausted")
+}
+
+// TestSweepZeroReclaimWindow systematically explores preemptions
+// around the marked PR-4 window — the gap between the zero scan and
+// the shootdown broadcast in writeBackBatch. Every completed schedule
+// must preserve the toucher's writes and the storage accounting, and
+// at least one completed schedule must actually land a store in the
+// window (ZeroRescues fires), proving the sweep exercised the race
+// rather than passing vacuously.
+func TestSweepZeroReclaimWindow(t *testing.T) {
+	var rescues, zeroEvictions int64
+	completed, completedWithRescue := 0, 0
+	rep, err := schedsim.Sweep(schedsim.SweepConfig{
+		MaxSchedules:   48,
+		MaxPreemptions: 2,
+		Window: func(d schedsim.Decision) bool {
+			return d.Point == schedsim.PointMark && d.Detail == "zero-reclaim"
+		},
+	}, func(strat schedsim.Strategy) (*schedsim.Executor, error) {
+		ex, k, err := sweepStorm(strat, 3)
+		var runRescues int64
+		if k != nil {
+			st := k.Frames.Stats()
+			runRescues = st.ZeroRescues
+			rescues += runRescues
+			zeroEvictions += st.ZeroEvictions
+		}
+		if starved(err) {
+			return ex, nil
+		}
+		if err == nil {
+			completed++
+			if runRescues > 0 {
+				completedWithRescue++
+			}
+		}
+		return ex, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowDecisions == 0 || zeroEvictions == 0 {
+		t.Fatalf("sweep vacuous: no zero-reclaim decisions opened (%d schedules, %d in-window, %d zero evictions)",
+			rep.Schedules, rep.WindowDecisions, zeroEvictions)
+	}
+	if completed == 0 {
+		t.Fatal("every schedule was starved: the sweep verified nothing")
+	}
+	if completedWithRescue == 0 {
+		t.Fatalf("no completed schedule landed a store in the zero-reclaim window (%d schedules, %d in-window, %d rescues total): the PR-4 race was not exercised",
+			rep.Schedules, rep.WindowDecisions, rescues)
+	}
+	t.Logf("%d schedules (%d completed, %d with a rescue), %d in-window decisions, %d zero evictions, %d rescues, truncated=%v",
+		rep.Schedules, completed, completedWithRescue, rep.WindowDecisions, zeroEvictions, rescues, rep.Truncated)
+}
+
+// TestSweepQuotaGrowthWindow explores the PR-6 trap-vs-reclaim window:
+// after the reclaim frees a zero page's record but before the file map
+// records it, a refault sees the quota trap while the map still names
+// a stored record — segment.Grow must refuse with ErrGrowRace and the
+// reference must retry to a correct result. The sweep deviates both at
+// the reclaim mark (to drop the toucher into the window) and at the
+// grow-race-retry mark (to hand the token back so the reclaim
+// completes and the retry resolves). GrowRaces in a completed schedule
+// proves the window was entered and survived.
+func TestSweepQuotaGrowthWindow(t *testing.T) {
+	var races int64
+	completed, completedWithRace := 0, 0
+	rep, err := schedsim.Sweep(schedsim.SweepConfig{
+		MaxSchedules:   48,
+		MaxPreemptions: 2,
+		Window: func(d schedsim.Decision) bool {
+			return d.Point == schedsim.PointMark
+		},
+	}, func(strat schedsim.Strategy) (*schedsim.Executor, error) {
+		ex, k, err := sweepStorm(strat, 3)
+		var runRaces int64
+		if k != nil {
+			runRaces = k.Cells.Stats().GrowRaces
+			races += runRaces
+		}
+		if starved(err) {
+			return ex, nil
+		}
+		if err == nil {
+			completed++
+			if runRaces > 0 {
+				completedWithRace++
+			}
+		}
+		return ex, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowDecisions == 0 {
+		t.Fatal("sweep vacuous: no marked decisions in any schedule")
+	}
+	if races == 0 {
+		t.Fatalf("no schedule entered the quota-growth race window (%d schedules, %d in-window decisions): the PR-6 race was not exercised",
+			rep.Schedules, rep.WindowDecisions)
+	}
+	if completed == 0 {
+		t.Fatal("every schedule was starved: the sweep verified nothing")
+	}
+	if completedWithRace == 0 {
+		t.Fatalf("the grow race fired only in starved schedules (%d schedules, %d races): no schedule shows the retry resolving correctly",
+			rep.Schedules, races)
+	}
+	t.Logf("%d schedules (%d completed, %d with a race), %d in-window decisions, %d grow races, truncated=%v",
+		rep.Schedules, completed, completedWithRace, rep.WindowDecisions, races, rep.Truncated)
+}
+
+// TestSimExecutorQuantumLoop runs the scheduler's quantum loop under
+// both executors over the same machine shape and checks they agree on
+// the work done; the deterministic one must also replay identically.
+func TestSimExecutorQuantumLoop(t *testing.T) {
+	run := func(ex uproc.Executor) (int, error) {
+		k := boot(t, func(c *Config) { c.Processors = 2 })
+		for i := 0; i < 4; i++ {
+			if _, err := k.CreateProcess(fmt.Sprintf("q%d.x", i), aim.Bottom); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dispatched := 0
+		total, err := k.Procs.RunQuantumWith(ex, k.CPUs, 10, func(cpu *hw.Processor, p *uproc.Process) {
+			dispatched++
+		})
+		if total != dispatched {
+			t.Errorf("executor %s: %d quanta reported, %d bodies run", ex.Name(), total, dispatched)
+		}
+		return total, err
+	}
+	goTotal, err := run(uproc.GoroutineExecutor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simTotal, err := run(uproc.SimExecutor{Seed: *schedSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goTotal != simTotal {
+		t.Errorf("executors disagree on quanta: goroutines ran %d, schedsim ran %d", goTotal, simTotal)
+	}
+	again, err := run(uproc.SimExecutor{Seed: *schedSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != simTotal {
+		t.Errorf("same seed, different quanta: %d then %d", simTotal, again)
+	}
+}
+
+// TestRetryBudgetObservability freezes the trap-vs-reclaim window in
+// its inconsistent intermediate state — quota trap raised while the
+// file map still names a stored record — so the reference's fault
+// service can never make progress. The retry budget must then become
+// visible twice: the half-budget trace event and counter while the
+// run is still diagnosable, and the distinct wrapped error at
+// exhaustion.
+func TestRetryBudgetObservability(t *testing.T) {
+	k := boot(t, func(c *Config) {
+		c.AssocOff = true // every reference walks the tables and sees the trap
+		c.TraceEvents = 1 << 12
+	})
+	cpu, p := user(t, k, "loop.x", aim.Bottom)
+	if _, err := k.CreateFile(cpu, p, nil, "f", nil, aim.Bottom); err != nil {
+		t.Fatal(err)
+	}
+	segno, err := k.OpenPath(cpu, p, []string{"f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialize page 0: Grow charges quota, allocates its record,
+	// and marks the map stored.
+	if err := k.Write(cpu, p, segno, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	sdw, err := p.DT().Get(segno)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeze the window: not-present plus quota trap, map unchanged.
+	if _, err := sdw.Table.Update(0, func(d *hw.PTW) {
+		d.Present = false
+		d.Frame = 0
+		d.QuotaTrap = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = k.Read(cpu, p, segno, 0)
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("got %v, want ErrRetryBudget", err)
+	}
+	if !errors.Is(err, ErrFaultLoop) {
+		t.Errorf("ErrRetryBudget must wrap ErrFaultLoop for existing callers; got %v", err)
+	}
+	half, exhausted := k.RetryStats()
+	if half != 1 || exhausted != 1 {
+		t.Errorf("RetryStats = (%d, %d), want (1, 1)", half, exhausted)
+	}
+	if races := k.Cells.Stats().GrowRaces; races == 0 {
+		t.Error("every retry lost the grow race, but GrowRaces = 0: the counter is not wired to the ErrGrowRace site")
+	}
+	found := false
+	for _, e := range k.Trace.Events() {
+		if e.Kind == trace.EvRetryPressure {
+			found = true
+			if e.Arg2 != 128 {
+				t.Errorf("retry-pressure event at try %d, want 128 (half of the budget)", e.Arg2)
+			}
+		}
+	}
+	if !found {
+		t.Error("no retry-pressure event in the trace: the half-budget warning is not emitted")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"multics/internal/hw"
+	"multics/internal/schedsim"
 	"multics/internal/trace"
 )
 
@@ -325,6 +326,9 @@ func (p *Pack) FreeRecordList() []RecordAddr {
 // ReadRecord copies record r into dst (PageWords words). Reading a
 // never-written record yields zeros.
 func (p *Pack) ReadRecord(r RecordAddr, dst []hw.Word) error {
+	// A record transfer is a yield point under the deterministic
+	// executor: the schedule may preempt at every disk completion.
+	schedsim.Yield(schedsim.PointDisk, "read")
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err := p.checkMounted(); err != nil {
@@ -358,6 +362,7 @@ func (p *Pack) ReadRecord(r RecordAddr, dst []hw.Word) error {
 
 // WriteRecord stores src (PageWords words) into record r.
 func (p *Pack) WriteRecord(r RecordAddr, src []hw.Word) error {
+	schedsim.Yield(schedsim.PointDisk, "write")
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err := p.checkMounted(); err != nil {
@@ -400,6 +405,7 @@ func (p *Pack) WriteRecord(r RecordAddr, src []hw.Word) error {
 // an injected fault the earlier records of the batch are already on
 // the pack, exactly as if they had been written singly.
 func (p *Pack) WriteRecordBatch(recs []RecordAddr, bufs [][]hw.Word) error {
+	schedsim.Yield(schedsim.PointDisk, "write-batch")
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err := p.checkMounted(); err != nil {

@@ -16,6 +16,7 @@ package eventcount
 import (
 	"sync"
 
+	"multics/internal/schedsim"
 	"multics/internal/trace"
 )
 
@@ -85,6 +86,14 @@ func (e *Eventcount) Await(v uint64) uint64 {
 		}
 		ch := e.changed
 		e.mu.Unlock()
+		if schedsim.OnTask() {
+			// Under the deterministic executor a channel wait would
+			// stall the whole schedule; park the task on a readiness
+			// predicate instead and let the scheduler pick an
+			// advancer.
+			schedsim.Block("eventcount await", func() bool { return e.Read() >= v })
+			continue
+		}
 		<-ch
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"multics/internal/schedsim"
 	"multics/internal/trace"
 )
 
@@ -290,6 +291,11 @@ func (b *ShootdownBus) InvalidatePTW(module string, pt *PageTable, page int) {
 	if b == nil || pt == nil {
 		return
 	}
+	// The broadcast is a yield point: under the deterministic
+	// executor another processor may run between the table update and
+	// the invalidation reaching its cache — the stale-translation
+	// window the shootdown protocol exists to close.
+	schedsim.Yield(schedsim.PointShootdown, module)
 	mems, sink := b.targets()
 	ss := trace.SpanSinkOf(sink)
 	if ss != nil {
@@ -318,6 +324,7 @@ func (b *ShootdownBus) InvalidateSDW(module string, dt *DescriptorTable, segno i
 	if b == nil || dt == nil {
 		return
 	}
+	schedsim.Yield(schedsim.PointShootdown, module)
 	mems, sink := b.targets()
 	ss := trace.SpanSinkOf(sink)
 	if ss != nil {

@@ -28,6 +28,7 @@ import (
 	"multics/internal/hw"
 	"multics/internal/lockrank"
 	"multics/internal/quota"
+	"multics/internal/schedsim"
 	"multics/internal/segment"
 	"multics/internal/upsignal"
 )
@@ -318,7 +319,11 @@ func (m *Manager) ServiceQuotaFault(k *KST, segno, page int, savedState any) err
 		// Lost the race with a zero-page reclaim mid-flight on
 		// another processor. Nothing was charged or allocated;
 		// returning success makes the caller rereference, which
-		// faults again once the reclaim has finished.
+		// faults again once the reclaim has finished. The marked
+		// yield lets schedule sweeps hand the token back to the
+		// reclaiming task here, driving the retry to its resolution
+		// instead of spinning against a parked peer.
+		schedsim.Yield(schedsim.PointMark, "grow-race-retry")
 		return nil
 	}
 	if err != nil {

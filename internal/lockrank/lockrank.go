@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"multics/internal/goid"
+	"multics/internal/schedsim"
 )
 
 // Rank is a lock's position in the acquisition order: certification
@@ -288,7 +289,13 @@ func (m *Mutex) Lock() {
 			track = true
 		}
 	}
-	m.mu.Lock()
+	// Under the deterministic executor the acquisition is a yield
+	// point and contention parks the task cooperatively; otherwise it
+	// is a plain mutex acquire. The rank check above ran either way —
+	// the discipline is identical under both executors.
+	if !schedsim.LockAcquire(&m.mu, m.Name()) {
+		m.mu.Lock()
+	}
 	m.tracked = track
 }
 

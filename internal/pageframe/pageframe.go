@@ -46,6 +46,7 @@ import (
 	"multics/internal/eventcount"
 	"multics/internal/hw"
 	"multics/internal/lockrank"
+	"multics/internal/schedsim"
 	"multics/internal/trace"
 	"multics/internal/vproc"
 )
@@ -179,6 +180,7 @@ type Manager struct {
 	caches [hw.MeterCPUs + 1]frameCache
 
 	faults, evictions, zeroEvictions, writeErrors int64
+	zeroRescues                                   int64
 }
 
 // SetTrace routes page fetch/evict and lock-wait events to s, and
@@ -277,6 +279,13 @@ type Stats struct {
 	// counter (and the write-error trace event) is the only record
 	// that evicted pages were lost.
 	WriteBackErrors int64
+	// ZeroRescues counts zero-reclaim verdicts revoked by the
+	// post-shootdown re-validation: a store through a cached
+	// translation landed between the zero scan and the broadcast, and
+	// the page went back to the dirty write-back path. Schedule
+	// sweeps assert this counter to prove the PR-4 window was
+	// actually entered, not vacuously passed.
+	ZeroRescues int64
 }
 
 // Stats reports the manager's counters.
@@ -285,6 +294,7 @@ func (m *Manager) Stats() Stats {
 	st := Stats{
 		Faults: m.faults, Evictions: m.evictions,
 		ZeroEvictions: m.zeroEvictions, WriteBackErrors: m.writeErrors,
+		ZeroRescues: m.zeroRescues,
 	}
 	m.mu.Unlock()
 	if m.AssocStats != nil {
@@ -371,6 +381,10 @@ func (m *Manager) LoadPage(req PageReq) ([]Evicted, error) {
 		// heavy overcommit that starves the faulter into a fault loop.
 		m.vps.RunPending()
 	}
+	// Publication is a yield point: the schedule may interleave other
+	// processors between the filled frame and the descriptor going
+	// present.
+	schedsim.Yield(schedsim.PointPublish, "ptw-present")
 	if _, err := req.PT.Update(req.Page, func(d *hw.PTW) {
 		d.Present = true
 		d.Frame = frame
@@ -434,6 +448,7 @@ func (m *Manager) AddPage(req PageReq) (disk.RecordAddr, []Evicted, error) {
 	if req.Page >= req.PT.Len() {
 		req.PT.Grow(req.Page + 1)
 	}
+	schedsim.Yield(schedsim.PointPublish, "ptw-new-page")
 	if _, err := req.PT.Update(req.Page, func(d *hw.PTW) {
 		d.Present = true
 		d.Frame = frame
@@ -708,7 +723,14 @@ func (m *Manager) writeBackBatch(victims []victim) ([]Evicted, int, error) {
 		// Broadcast before the frame's contents are read or the
 		// frame reused: when InvalidatePTW returns, every reference
 		// that translated through a cached PTW has completed and no
-		// processor can reach the frame again.
+		// processor can reach the frame again. The marked yield is
+		// the PR-4 critical window: a reference through a cached PTW
+		// may still complete against the old frame until the
+		// broadcast returns, which is why the zero verdict below must
+		// be re-validated.
+		if zero {
+			schedsim.Yield(schedsim.PointMark, "zero-reclaim")
+		}
 		m.Bus.InvalidatePTW(ModuleName, info.pt, info.page)
 		disconnected++
 		if zero {
@@ -725,6 +747,9 @@ func (m *Manager) writeBackBatch(victims []victim) ([]Evicted, int, error) {
 			}
 			if !still {
 				zero = false
+				m.mu.Lock()
+				m.zeroRescues++
+				m.mu.Unlock()
 				if _, err := info.pt.Update(info.page, func(d *hw.PTW) {
 					d.QuotaTrap = false
 				}); err != nil {

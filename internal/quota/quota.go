@@ -21,6 +21,7 @@ package quota
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"multics/internal/coreseg"
 	"multics/internal/disk"
@@ -65,7 +66,29 @@ type Manager struct {
 	sink  trace.Sink
 	cells map[CellName]*cell
 	slots []bool // slot occupancy in the core-segment table
+
+	growRaces atomic.Int64
 }
+
+// Stats is the manager's counter block.
+type Stats struct {
+	// GrowRaces counts quota growths that lost the trap-vs-reclaim
+	// race (segment.ErrGrowRace): the faulter took a quota trap for a
+	// page whose record still existed because the zero-reclaim had
+	// not yet reached the file map, and the growth was retried from
+	// the rereference. Schedule sweeps assert this counter to prove
+	// the PR-6 window was actually exercised, not vacuously passed.
+	GrowRaces int64
+}
+
+// Stats reports the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{GrowRaces: m.growRaces.Load()}
+}
+
+// NoteGrowRace records one quota growth lost to the trap-vs-reclaim
+// race. The segment manager calls it where it returns ErrGrowRace.
+func (m *Manager) NoteGrowRace() { m.growRaces.Add(1) }
 
 // SetTrace routes quota-check events to s (nil turns tracing off).
 func (m *Manager) SetTrace(s trace.Sink) {

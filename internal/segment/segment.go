@@ -425,6 +425,11 @@ func (m *Manager) Grow(uid uint64, page, notifySeg, notifyPage int) (*disk.SegAd
 		return nil, err
 	}
 	if page < len(e.Map) && e.Map[page].State == disk.PageStored {
+		// Count the lost race before reporting it: the retry is
+		// invisible to the caller (the fault service returns clean and
+		// the reference is simply reissued), so without the counter
+		// the window's tests could pass vacuously.
+		m.cells.NoteGrowRace()
 		return nil, fmt.Errorf("%w: page %d of %d still stored", ErrGrowRace, page, uid)
 	}
 	// Check and charge quota: the O(1) static-cell probe.

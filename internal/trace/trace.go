@@ -115,9 +115,14 @@ const (
 	// number of pages in the failed submission, Arg1 the first
 	// record address).
 	EvWriteError
+	// EvRetryPressure: a fault-service retry loop crossed half its
+	// retry budget — it is being starved of forward progress and will
+	// error out if the pressure persists (Arg0 segment number, Arg1
+	// offset, Arg2 retries so far).
+	EvRetryPressure
 
 	// NumKinds is the size of per-kind counter arrays.
-	NumKinds = int(EvWriteError) + 1
+	NumKinds = int(EvRetryPressure) + 1
 )
 
 var kindNames = [NumKinds]string{
@@ -125,7 +130,7 @@ var kindNames = [NumKinds]string{
 	"dispatch", "ipc", "process-swap", "disk-read", "disk-write",
 	"quota-check", "signal-raise", "signal-handle", "await", "advance",
 	"fault-injected", "salvage-repair", "assoc-hit", "assoc-miss",
-	"assoc-clear", "write-error",
+	"assoc-clear", "write-error", "retry-pressure",
 }
 
 func (k Kind) String() string {

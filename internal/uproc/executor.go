@@ -1,0 +1,118 @@
+package uproc
+
+import (
+	"multics/internal/hw"
+	"multics/internal/schedsim"
+	"multics/internal/trace"
+)
+
+// An Executor runs the per-processor quantum loop: each simulated
+// processor repeatedly dispatches a ready process, runs body with the
+// process bound, and preempts. Two implementations exist:
+//
+//   - GoroutineExecutor, the original RunQuantumParallel model — one
+//     real goroutine per hw.Processor, interleaved by the Go runtime.
+//     It exercises real memory orderings and is what -race storms run.
+//   - SimExecutor, the deterministic virtual-time model — one
+//     cooperative schedsim task per processor, interleaved by a seeded
+//     strategy at the kernel's yield points. Identical seeds replay
+//     identical schedules, byte-for-byte identical traces.
+type Executor interface {
+	// Name labels the executor in test output and failure reports.
+	Name() string
+	// RunQuanta runs up to n quanta on each processor, returning the
+	// total quanta completed and the first error.
+	RunQuanta(m *Manager, cpus []*hw.Processor, n int, body func(cpu *hw.Processor, p *Process)) (int, error)
+}
+
+// GoroutineExecutor is the real-goroutine executor; see
+// RunQuantumParallel.
+type GoroutineExecutor struct{}
+
+// Name implements Executor.
+func (GoroutineExecutor) Name() string { return "goroutines" }
+
+// RunQuanta implements Executor.
+func (GoroutineExecutor) RunQuanta(m *Manager, cpus []*hw.Processor, n int, body func(cpu *hw.Processor, p *Process)) (int, error) {
+	return m.RunQuantumParallel(cpus, n, body)
+}
+
+// SimExecutor is the deterministic virtual-time executor: the
+// processors run as cooperative schedsim tasks under Strategy
+// (Random(Seed) when nil), yielding at every instrumented kernel
+// point and at each quantum boundary. Any invariant panic or
+// deadlock surfaces as a *schedsim.Failure carrying Seed.
+type SimExecutor struct {
+	Seed     int64
+	Strategy schedsim.Strategy
+}
+
+// Name implements Executor.
+func (SimExecutor) Name() string { return "schedsim" }
+
+// RunQuanta implements Executor.
+func (e SimExecutor) RunQuanta(m *Manager, cpus []*hw.Processor, n int, body func(cpu *hw.Processor, p *Process)) (int, error) {
+	ex := schedsim.New(schedsim.Config{
+		Name:     "uproc",
+		Seed:     e.Seed,
+		Strategy: e.Strategy,
+	})
+	// The tasks are serialized by the schedsim token, so the shared
+	// counters need no further synchronization; the token hand-off
+	// orders every access.
+	total := 0
+	var first error
+	for _, cpu := range cpus {
+		cpu := cpu
+		ex.Go(cpuTaskName(cpu.ID), func() {
+			defer trace.BindCPU(cpu.ID)()
+			ss := m.spanSink()
+			for i := 0; i < n; i++ {
+				schedsim.Yield(schedsim.PointQuantum, "dispatch")
+				if ss != nil {
+					ss.BeginSpan(trace.SpanQuantum, ModuleName, int64(i))
+				}
+				p, err := m.Dispatch()
+				if err != nil {
+					if ss != nil {
+						ss.EndSpan(trace.SpanQuantum)
+					}
+					return
+				}
+				if body != nil {
+					body(cpu, p)
+				}
+				err = m.Preempt(p)
+				if ss != nil {
+					ss.EndSpan(trace.SpanQuantum)
+				}
+				if err != nil {
+					if first == nil {
+						first = err
+					}
+					return
+				}
+				total++
+			}
+		})
+	}
+	if err := ex.Run(); err != nil {
+		return total, err
+	}
+	return total, first
+}
+
+func cpuTaskName(id int) string {
+	// Avoid fmt on the executor setup path; ids are small.
+	const digits = "0123456789"
+	if id < 10 {
+		return "cpu" + digits[id:id+1]
+	}
+	return "cpu" + digits[id/10%10:id/10%10+1] + digits[id%10:id%10+1]
+}
+
+// RunQuantumWith runs the quantum loop under the given executor; it
+// is RunQuantumParallel with the execution model made pluggable.
+func (m *Manager) RunQuantumWith(ex Executor, cpus []*hw.Processor, n int, body func(cpu *hw.Processor, p *Process)) (int, error) {
+	return ex.RunQuanta(m, cpus, n, body)
+}

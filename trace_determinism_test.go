@@ -14,12 +14,16 @@ import (
 
 	"multics/internal/directory"
 	"multics/internal/hw"
+	"multics/internal/schedsim"
 	"multics/internal/trace"
 	"multics/internal/uproc"
 )
 
-// traceWorkloads drive every instrumented subsystem, single-CPU and
-// single-goroutine so the event order is fully determined.
+// traceWorkloads drive every instrumented subsystem. The single-CPU
+// workloads run single-goroutine so the event order is fully
+// determined; the smp workloads run several simulated processors under
+// the deterministic executor, whose seeded schedule makes the
+// multi-CPU event order just as reproducible.
 var traceWorkloads = []struct {
 	name string
 	cfg  func(*Config)
@@ -126,6 +130,93 @@ var traceWorkloads = []struct {
 			}
 		},
 	},
+	{
+		// Two simulated processors running the paging storm under the
+		// deterministic executor: cross-CPU faults, evictions and
+		// shootdowns must produce byte-identical streams run over run.
+		name: "smp2-sim-storm",
+		cfg:  func(c *Config) { c.Processors = 2; c.MemFrames = 24; c.WiredFrames = 8 },
+		run:  func(t *testing.T, k *Kernel) { simTraceStorm(t, k, 2) },
+	},
+	{
+		name: "smp4-sim-storm",
+		cfg:  func(c *Config) { c.Processors = 4; c.MemFrames = 28; c.WiredFrames = 8 },
+		run:  func(t *testing.T, k *Kernel) { simTraceStorm(t, k, 4) },
+	},
+	{
+		// The scheduler's quantum loop on two processors under the
+		// pluggable deterministic executor.
+		name: "smp2-sim-quanta",
+		cfg:  func(c *Config) { c.Processors = 2 },
+		run: func(t *testing.T, k *Kernel) {
+			for i := 0; i < 4; i++ {
+				if _, err := k.CreateProcess(fmt.Sprintf("u%d.x", i), Bottom); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := k.Procs.RunQuantumWith(uproc.SimExecutor{Seed: 1977}, k.CPUs, 15, nil); err != nil {
+				t.Fatal(err)
+			}
+		},
+	},
+}
+
+// simTraceStorm drives one oscillating writer per processor as
+// cooperative tasks of a seeded deterministic executor.
+func simTraceStorm(t *testing.T, k *Kernel, nCPU int) {
+	t.Helper()
+	type worker struct {
+		cpu   *hw.Processor
+		p     *uproc.Process
+		segno int
+	}
+	var ws []*worker
+	for i := 0; i < nCPU; i++ {
+		p, err := k.CreateProcess(fmt.Sprintf("det%d.x", i), Bottom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := k.CPUs[i]
+		k.Attach(cpu, p)
+		name := fmt.Sprintf("det%d", i)
+		if _, err := k.CreateFile(cpu, p, nil, name, nil, Bottom); err != nil {
+			t.Fatal(err)
+		}
+		segno, err := k.OpenPath(cpu, p, []string{name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, &worker{cpu: cpu, p: p, segno: segno})
+	}
+	ex := schedsim.New(schedsim.Config{Name: "trace-storm", Seed: 1977})
+	for wi, w := range ws {
+		wi, w := wi, w
+		ex.Go(fmt.Sprintf("cpu%d", w.cpu.ID), func() {
+			defer trace.BindCPU(w.cpu.ID)()
+			for r := 0; r < 3; r++ {
+				for pg := 0; pg < 6; pg++ {
+					off := pg * hw.PageWords
+					v := hw.Word(1 + wi*100 + r)
+					if err := k.Write(w.cpu, w.p, w.segno, off, v); err != nil {
+						panic(fmt.Sprintf("write: %v", err))
+					}
+					got, err := k.Read(w.cpu, w.p, w.segno, off)
+					if err != nil {
+						panic(fmt.Sprintf("read: %v", err))
+					}
+					if got != v {
+						panic(fmt.Sprintf("lost write: page %d read %d, want %d", pg, got, v))
+					}
+					if err := k.Write(w.cpu, w.p, w.segno, off, 0); err != nil {
+						panic(fmt.Sprintf("re-zero: %v", err))
+					}
+				}
+			}
+		})
+	}
+	if err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func traceProcess(t *testing.T, k *Kernel) (*hw.Processor, *uproc.Process) {
