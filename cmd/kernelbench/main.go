@@ -13,11 +13,9 @@
 //	P9 fault-storm cycle attribution     (the meters, per module)
 //	P10 parallel speedup                 (1/2/4 processors, makespan)
 //	P11 associative memory               (translation cache on/off)
+//	P12 login storm                      (1k/10k users; O(1) dispatch)
 //	P13 fault-service latency            (span p50/p99/max, 1/2/4 CPUs)
 //	P14 deterministic parallel storm     (sim executor; gated SMP cycles)
-//
-// (P12, tail latency versus user count, is reserved by the roadmap's
-// scale-out work.)
 //
 // Every comparison is also written machine-readable to the path named
 // by -json (default BENCH_kernel.json; empty disables). With
@@ -32,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 
@@ -80,6 +79,7 @@ func main() {
 	p9()
 	p10()
 	p11()
+	p12()
 	p13()
 	p14()
 	if *jsonPath != "" {
@@ -635,6 +635,115 @@ func p11() {
 	fmt.Println("    [6180 hardware: the associative memory absorbs the descriptor re-fetches; shootdowns keep it coherent]")
 	metrics["smp_makespan"] = rows
 	record("P11 associative memory", metrics)
+}
+
+// p12 drives the answering service's login storm through the sharded
+// scheduler: 1k and 10k users register, log in, timeshare through
+// rounds of quanta with block/wake churn over the real-memory queue,
+// and log out, on 1, 2 and 4 processors. The figures of merit are the
+// per-login cycle cost, the dispatch cost per quantum — which stays
+// flat as the user count grows tenfold, the O(1) run-queue claim —
+// and the time-to-first-quantum tail, each process's creation to its
+// first dispatch. The 1-processor runs are single goroutines and
+// hence deterministic; their figures feed the -compare gate, while
+// the multiprocessor rows carry _smp keys the gate skips.
+func p12() {
+	prev := lockrank.SetChecking(false)
+	defer lockrank.SetChecking(prev)
+	fmt.Println("P12 login storm (sharded run queues, work stealing, eventcount wakeups):")
+	var rows []map[string]any
+	for _, users := range []int{1000, 10000} {
+		for _, nCPU := range []int{1, 2, 4} {
+			rows = append(rows, loginStorm(users, nCPU))
+		}
+	}
+	fmt.Println("    [the per-quantum dispatch cost holds flat from 1k to 10k users: O(1) run-queue dispatch]")
+	record("P12 login storm", map[string]any{"per_config": rows})
+}
+
+// loginStorm runs one P12 configuration and returns its report row.
+// Primary memory is sized so the process states stay resident: the
+// figures measure the scheduler, not the pager.
+func loginStorm(users, nCPU int) map[string]any {
+	k := bootKernel(func(c *core.Config) {
+		c.Processors = nCPU
+		c.ASTPages = (users+256)/128 + 2 // an ASTE per resident process state
+		c.WiredFrames = c.ASTPages + 6
+		c.MemFrames = users + 512 + c.WiredFrames
+		c.Packs = []core.PackSpec{{ID: "dska", Records: 16384}, {ID: "dskb", Records: 16384}}
+	})
+	var procs []*uproc.Process
+	svc := answering.New(answering.Split, k.Meter, func(principal string, label aim.Label) (any, error) {
+		p, err := k.CreateProcess(principal, label)
+		if err != nil {
+			return nil, err
+		}
+		procs = append(procs, p)
+		return p, nil
+	})
+	ops := k.StormOps(uproc.GoroutineExecutor{}, k.CPUs)
+	inner := ops.RunQuanta
+	var quantaCycles int64
+	ops.RunQuanta = func(n int, body func(any)) (int, error) {
+		start := k.Meter.Snapshot()
+		ran, err := inner(n, body)
+		quantaCycles += k.Meter.Since(start)
+		return ran, err
+	}
+	st, err := svc.RunStorm(answering.StormConfig{
+		Users:          users,
+		Rounds:         2,
+		QuantaPerRound: 2*users/nCPU + 32,
+		BlockEvery:     97,
+	}, ops)
+	check(err)
+	stats := k.Procs.SchedStats()
+	var loginSum int64
+	for _, r := range svc.Records() {
+		loginSum += r.LoginCycles
+	}
+	loginPer := loginSum / int64(st.Logins)
+	var ttfq []int64
+	for _, p := range procs {
+		if fr := p.FirstRunCycle(); fr >= 0 {
+			ttfq = append(ttfq, fr-p.CreatedCycle())
+		}
+	}
+	sort.Slice(ttfq, func(i, j int) bool { return ttfq[i] < ttfq[j] })
+	pct := func(q float64) int64 {
+		if len(ttfq) == 0 {
+			return 0
+		}
+		return ttfq[int(q*float64(len(ttfq)-1))]
+	}
+	var perQuantum int64
+	if stats.Dispatches > 0 {
+		perQuantum = quantaCycles / stats.Dispatches
+	}
+	fmt.Printf("    %5d users %d cpu: login %5d cyc/user, dispatch %4d cyc/quantum, ttfq p50 %9d p99 %9d max %9d cyc, %5d steals, depth %d\n",
+		users, nCPU, loginPer, perQuantum, pct(0.50), pct(0.99), ttfq[len(ttfq)-1], stats.Steals, stats.MaxQueueDepth)
+	row := map[string]any{
+		"users": users, "processors": nCPU,
+		"dispatches": stats.Dispatches, "first_quanta": len(ttfq),
+		"steals": stats.Steals, "migrations": stats.Migrations,
+		"donations": stats.Donations, "wakeups": stats.Wakeups,
+		"blocked": st.Blocked, "woken": st.Woken,
+		"max_queue_depth": stats.MaxQueueDepth,
+	}
+	if nCPU == 1 {
+		row["login_cycles_per_user"] = loginPer
+		row["dispatch_cycles_per_quantum"] = perQuantum
+		row["ttfq_p50_cycles"] = pct(0.50)
+		row["ttfq_p99_cycles"] = pct(0.99)
+		row["ttfq_max_cycles"] = ttfq[len(ttfq)-1]
+	} else {
+		row["login_cycles_per_user_smp"] = loginPer
+		row["dispatch_cycles_per_quantum_smp"] = perQuantum
+		row["ttfq_p50_cycles_smp"] = pct(0.50)
+		row["ttfq_p99_cycles_smp"] = pct(0.99)
+		row["ttfq_max_cycles_smp"] = ttfq[len(ttfq)-1]
+	}
+	return row
 }
 
 // p13 measures fault-service latency with the span tracer on: the P10

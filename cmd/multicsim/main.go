@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"multics/internal/aim"
+	"multics/internal/answering"
 	"multics/internal/audit"
 	"multics/internal/core"
 	"multics/internal/directory"
@@ -31,6 +32,7 @@ func main() {
 	pages := flag.Int("pages", 6, "pages written per file")
 	runAudit := flag.Bool("audit", true, "run the invariant audit after the workload")
 	schedSeed := flag.Int64("sched-seed", 0, "when nonzero, run a multiprocessor storm under the deterministic executor with this schedule seed; a failure prints the seed that replays it")
+	storm := flag.Bool("storm", false, "drive a login/timesharing storm of -users users through the answering service instead of the scripted file workload")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -39,6 +41,16 @@ func main() {
 	cfg.VProcs = *vprocs
 	cfg.RootQuota = 100000
 	cfg.Packs = []core.PackSpec{{ID: "dska", Records: 8192}, {ID: "dskb", Records: 8192}}
+	if *storm {
+		// Scale the machine to the storm: an active-segment entry and
+		// a resident state page per logged-in user.
+		cfg.ASTPages = (*users+256)/128 + 2
+		cfg.WiredFrames = cfg.ASTPages + 6
+		if need := *users + 512 + cfg.WiredFrames; cfg.MemFrames < need {
+			cfg.MemFrames = need
+		}
+		cfg.Packs = []core.PackSpec{{ID: "dska", Records: 16384}, {ID: "dskb", Records: 16384}}
+	}
 	// Tracing on: the span layer attributes kernel cycles to the
 	// running process for the top-talkers table.
 	cfg.TraceEvents = 1 << 15
@@ -54,7 +66,13 @@ func main() {
 		fmt.Printf("    layer %d: %s\n", i, strings.Join(layer, ", "))
 	}
 
-	for u := 0; u < *users; u++ {
+	if *storm {
+		if err := runLoginStorm(k, *users); err != nil {
+			fatal("login storm", err)
+		}
+	}
+
+	for u := 0; !*storm && u < *users; u++ {
 		principal := fmt.Sprintf("user%d.proj", u)
 		p, err := k.CreateProcess(principal, aim.Bottom)
 		if err != nil {
@@ -117,6 +135,11 @@ func main() {
 	raised, handled := k.Signals.Stats()
 	fmt.Printf("    upward signals:           %d raised, %d handled\n", raised, handled)
 	fmt.Printf("    kernel daemon dispatches: %d\n", k.VProcs.Dispatches())
+	ss := k.Procs.SchedStats()
+	fmt.Printf("    scheduler dispatches:     %d (%d steals, %d migrations, %d donations)\n",
+		ss.Dispatches, ss.Steals, ss.Migrations, ss.Donations)
+	fmt.Printf("    run queues:               %d queues, deepest %d, %d wakeups\n",
+		ss.RunQueues, ss.MaxQueueDepth, ss.Wakeups)
 	fmt.Printf("    simulated cycles:         %d\n", k.Meter.Cycles())
 
 	topTalkers(k)
@@ -131,6 +154,28 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runLoginStorm registers and logs in users simulated users through
+// the answering service, timeshares them through rounds of quanta
+// with block/wake churn over the real-memory queue on the sharded
+// run queues, and logs them all out.
+func runLoginStorm(k *core.Kernel, users int) error {
+	svc := answering.New(answering.Split, k.Meter, func(principal string, label aim.Label) (any, error) {
+		return k.CreateProcess(principal, label)
+	})
+	st, err := svc.RunStorm(answering.StormConfig{
+		Users:          users,
+		Rounds:         2,
+		QuantaPerRound: 2*users/len(k.CPUs) + 32,
+		BlockEvery:     97,
+	}, k.StormOps(uproc.GoroutineExecutor{}, k.CPUs))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nLogin storm: %d logins, %d logouts, %d quanta run, %d blocked, %d woken.\n",
+		st.Logins, st.Logouts, st.Quanta, st.Blocked, st.Woken)
+	return nil
 }
 
 // runSchedStorm drives one oscillating writer per processor as

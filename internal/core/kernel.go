@@ -85,6 +85,11 @@ type Config struct {
 	// retaining that many events in the trace ring. Zero boots
 	// untraced (every emission site then costs one nil check).
 	TraceEvents int
+	// ASTPages sizes the active segment table in core-segment pages
+	// (128 entries per page); zero selects the default of 2. Every
+	// resident process state holds an entry, so a login storm scales
+	// this with its user count — and WiredFrames with it.
+	ASTPages int
 	// AssocOff boots without per-processor associative memories:
 	// every reference then pays a full table walk, as the kernel ran
 	// before the cache. The default (false) fits each processor with
@@ -135,12 +140,14 @@ type Kernel struct {
 	Salvage salvage.Report
 
 	cfg Config
-	// mu is the kernel's gate lock: the fault loop holds it while
-	// dispatching upward signals, so relocation handlers — which walk
-	// down from the directory manager — run one at a time even with
-	// several processors faulting concurrently. Ranked one layer
-	// above the whole lattice (GateModule).
-	mu lockrank.Mutex
+	// gateLock is the kernel's gate lock: the fault loop holds it
+	// while dispatching upward signals, so relocation handlers —
+	// which walk down from the directory manager — run one at a time
+	// even with several processors faulting concurrently. Ranked one
+	// layer above the whole lattice (GateModule), and priority-
+	// donating: a high-priority process waiting here boosts the
+	// holder so a low-priority holder cannot be starved mid-dispatch.
+	gateLock *uproc.PLock
 	// restores counts processes resumed after relocation notices.
 	restores atomic.Int64
 	// retryPressure counts references that crossed half their
@@ -190,7 +197,6 @@ func Boot(cfg Config) (*Kernel, error) {
 	}
 	lockrank.SetLayers(layers)
 	lockrank.SetModuleLayer(GateModule, len(layers))
-	k.mu.Init(GateModule)
 	if cfg.TraceEvents > 0 {
 		// The recorder exists before the disk level boots so that
 		// salvage repairs are on the record.
@@ -212,7 +218,11 @@ func Boot(cfg Config) (*Kernel, error) {
 	if err != nil {
 		return nil, err
 	}
-	ast, err := cm.Allocate("ast", 2*hw.PageWords)
+	astPages := cfg.ASTPages
+	if astPages <= 0 {
+		astPages = 2
+	}
+	ast, err := cm.Allocate("ast", astPages*hw.PageWords)
 	if err != nil {
 		return nil, err
 	}
@@ -305,6 +315,12 @@ func Boot(cfg Config) (*Kernel, error) {
 		return nil, err
 	}
 	k.Procs = uproc.NewManager(k.VProcs, k.Segs, k.KSM, k.Queue, k.Meter)
+	// One run queue per simulated processor, so each CPU's scheduler
+	// worker dispatches from its own queue and steals when it drains.
+	k.Procs.SetRunQueues(cfg.Processors)
+	// The gate lock donates priority through the process manager: a
+	// waiter at the gate boosts whoever holds it.
+	k.gateLock = uproc.NewPLock(k.Procs, GateModule)
 	k.Procs.StatePack = rootPack
 	rootEntry, err := k.Dirs.Status("initializer.sys", aim.Top, k.Dirs.RootID())
 	if err != nil {

@@ -321,9 +321,10 @@ func starved(err error) bool {
 func TestSweepZeroReclaimWindow(t *testing.T) {
 	var rescues, zeroEvictions int64
 	completed, completedWithRescue := 0, 0
+	maxSched, maxPre := schedsim.EnvBudget(48, 2)
 	rep, err := schedsim.Sweep(schedsim.SweepConfig{
-		MaxSchedules:   48,
-		MaxPreemptions: 2,
+		MaxSchedules:   maxSched,
+		MaxPreemptions: maxPre,
 		Window: func(d schedsim.Decision) bool {
 			return d.Point == schedsim.PointMark && d.Detail == "zero-reclaim"
 		},
@@ -377,9 +378,10 @@ func TestSweepZeroReclaimWindow(t *testing.T) {
 func TestSweepQuotaGrowthWindow(t *testing.T) {
 	var races int64
 	completed, completedWithRace := 0, 0
+	maxSched, maxPre := schedsim.EnvBudget(48, 2)
 	rep, err := schedsim.Sweep(schedsim.SweepConfig{
-		MaxSchedules:   48,
-		MaxPreemptions: 2,
+		MaxSchedules:   maxSched,
+		MaxPreemptions: maxPre,
 		Window: func(d schedsim.Decision) bool {
 			return d.Point == schedsim.PointMark
 		},

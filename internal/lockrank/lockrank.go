@@ -262,52 +262,40 @@ func (m *Mutex) Rank() Rank {
 	return r
 }
 
-// Lock acquires the mutex. With checking on, acquiring while the
-// calling goroutine holds a ranked lock of equal or lower rank panics:
-// that acquisition order does not exist in the certified lattice.
-func (m *Mutex) Lock() {
-	track := false
-	if checking.Load() {
-		if r := m.Rank(); r != Unranked {
-			g := goid.ID()
-			s := shardFor(g)
-			s.mu.Lock()
-			for _, h := range s.held[g] {
-				if h.rank <= r {
-					violation := fmt.Sprintf(
-						"lockrank: acquiring %s (rank %d) while holding %s (rank %d): lock acquisition must descend the certification order",
-						m.Name(), r, h.name, h.rank)
-					s.mu.Unlock()
-					panic(violation)
-				}
-			}
-			if s.held == nil {
-				s.held = make(map[uint64][]holder)
-			}
-			s.held[g] = append(s.held[g], holder{rank: r, name: m.Name()})
+// pushHeld checks the acquisition order and records the lock on the
+// calling goroutine's held stack. It reports whether an entry was
+// pushed (checking on and the lock ranked); a rank violation panics.
+func (m *Mutex) pushHeld() bool {
+	if !checking.Load() {
+		return false
+	}
+	r := m.Rank()
+	if r == Unranked {
+		return false
+	}
+	g := goid.ID()
+	s := shardFor(g)
+	s.mu.Lock()
+	for _, h := range s.held[g] {
+		if h.rank <= r {
+			violation := fmt.Sprintf(
+				"lockrank: acquiring %s (rank %d) while holding %s (rank %d): lock acquisition must descend the certification order",
+				m.Name(), r, h.name, h.rank)
 			s.mu.Unlock()
-			track = true
+			panic(violation)
 		}
 	}
-	// Under the deterministic executor the acquisition is a yield
-	// point and contention parks the task cooperatively; otherwise it
-	// is a plain mutex acquire. The rank check above ran either way —
-	// the discipline is identical under both executors.
-	if !schedsim.LockAcquire(&m.mu, m.Name()) {
-		m.mu.Lock()
+	if s.held == nil {
+		s.held = make(map[uint64][]holder)
 	}
-	m.tracked = track
+	s.held[g] = append(s.held[g], holder{rank: r, name: m.Name()})
+	s.mu.Unlock()
+	return true
 }
 
-// Unlock releases the mutex.
-func (m *Mutex) Unlock() {
-	track := m.tracked
-	m.tracked = false
-	name := m.Name()
-	m.mu.Unlock()
-	if !track {
-		return
-	}
+// popHeld removes the lock's entry from the calling goroutine's held
+// stack, innermost first.
+func popHeld(name string) {
 	g := goid.ID()
 	s := shardFor(g)
 	s.mu.Lock()
@@ -324,6 +312,50 @@ func (m *Mutex) Unlock() {
 		s.held[g] = stack
 	}
 	s.mu.Unlock()
+}
+
+// Lock acquires the mutex. With checking on, acquiring while the
+// calling goroutine holds a ranked lock of equal or lower rank panics:
+// that acquisition order does not exist in the certified lattice.
+func (m *Mutex) Lock() {
+	track := m.pushHeld()
+	// Under the deterministic executor the acquisition is a yield
+	// point and contention parks the task cooperatively; otherwise it
+	// is a plain mutex acquire. The rank check above ran either way —
+	// the discipline is identical under both executors.
+	if !schedsim.LockAcquire(&m.mu, m.Name()) {
+		m.mu.Lock()
+	}
+	m.tracked = track
+}
+
+// TryLock acquires the mutex only if it is free, reporting whether it
+// did. The rank check runs exactly as for Lock — a try-acquire in an
+// order the lattice forbids panics even when the lock happens to be
+// free, so the discipline cannot be weakened by polling. A failed try
+// is not a yield point: the caller stays runnable and decides itself
+// how to wait.
+func (m *Mutex) TryLock() bool {
+	track := m.pushHeld()
+	if !m.mu.TryLock() {
+		if track {
+			popHeld(m.Name())
+		}
+		return false
+	}
+	m.tracked = track
+	return true
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() {
+	track := m.tracked
+	m.tracked = false
+	name := m.Name()
+	m.mu.Unlock()
+	if track {
+		popHeld(name)
+	}
 }
 
 // HeldByCaller returns the names of the ranked locks the calling

@@ -10,7 +10,26 @@
 // explored schedules form a tree rooted at the baseline.
 package schedsim
 
-import "fmt"
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// EnvBudget returns sweep budgets, raised by the environment when the
+// MULTICS_SWEEP_SCHEDULES / MULTICS_SWEEP_PREEMPTIONS variables are
+// set: the nightly CI tier uses them to explore far more
+// interleavings than a commit gate can afford. Unset or unparsable
+// variables leave the given defaults unchanged.
+func EnvBudget(schedules, preemptions int) (int, int) {
+	if v, err := strconv.Atoi(os.Getenv("MULTICS_SWEEP_SCHEDULES")); err == nil && v > 0 {
+		schedules = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("MULTICS_SWEEP_PREEMPTIONS")); err == nil && v > 0 {
+		preemptions = v
+	}
+	return schedules, preemptions
+}
 
 // SweepConfig bounds a systematic sweep.
 type SweepConfig struct {

@@ -120,9 +120,20 @@ const (
 	// error out if the pressure persists (Arg0 segment number, Arg1
 	// offset, Arg2 retries so far).
 	EvRetryPressure
+	// EvSchedSteal: a draining run queue stole a ready process from
+	// another queue (Arg0 the thief queue, Arg1 the victim queue,
+	// Arg2 the process id).
+	EvSchedSteal
+	// EvSchedMigrate: a process's home run queue changed at dispatch
+	// (Arg0 the old queue, Arg1 the new queue, Arg2 the process id).
+	EvSchedMigrate
+	// EvSchedDonate: a waiter donated its priority to a lock holder
+	// (Arg0 the donor process id, Arg1 the holder process id, Arg2
+	// the holder's new effective priority).
+	EvSchedDonate
 
 	// NumKinds is the size of per-kind counter arrays.
-	NumKinds = int(EvRetryPressure) + 1
+	NumKinds = int(EvSchedDonate) + 1
 )
 
 var kindNames = [NumKinds]string{
@@ -130,7 +141,8 @@ var kindNames = [NumKinds]string{
 	"dispatch", "ipc", "process-swap", "disk-read", "disk-write",
 	"quota-check", "signal-raise", "signal-handle", "await", "advance",
 	"fault-injected", "salvage-repair", "assoc-hit", "assoc-miss",
-	"assoc-clear", "write-error", "retry-pressure",
+	"assoc-clear", "write-error", "retry-pressure", "sched-steal",
+	"sched-migrate", "sched-donate",
 }
 
 func (k Kind) String() string {

@@ -40,20 +40,25 @@ func TestAuditCleanThenCorrupt(t *testing.T) {
 		t.Fatalf("clean manager audits dirty: %v", bad)
 	}
 	// Corrupt: a running process loses its virtual processor.
-	f.m.mu.Lock()
+	a.pmu.Lock()
 	vp := a.vp
 	a.vp = nil
-	f.m.mu.Unlock()
+	a.pmu.Unlock()
 	if bad := f.m.Audit(); len(bad) == 0 {
 		t.Error("audit missed a running process with no virtual processor")
 	}
-	f.m.mu.Lock()
+	a.pmu.Lock()
 	a.vp = vp
-	f.m.mu.Unlock()
-	// Corrupt: a ready process vanishes from the ready queue.
-	f.m.mu.Lock()
-	f.m.ready = nil
-	f.m.mu.Unlock()
+	a.pmu.Unlock()
+	// Corrupt: a ready process vanishes from its run queue.
+	b, err := f.m.Lookup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq := f.m.queues[b.home]
+	rq.mu.Lock()
+	rq.remove(b)
+	rq.mu.Unlock()
 	if bad := f.m.Audit(); len(bad) == 0 {
 		t.Error("audit missed a ready process missing from the queue")
 	}

@@ -62,37 +62,14 @@ func (e SimExecutor) RunQuanta(m *Manager, cpus []*hw.Processor, n int, body fun
 	// orders every access.
 	total := 0
 	var first error
-	for _, cpu := range cpus {
-		cpu := cpu
+	for wi, cpu := range cpus {
+		wi, cpu := wi, cpu
 		ex.Go(cpuTaskName(cpu.ID), func() {
 			defer trace.BindCPU(cpu.ID)()
-			ss := m.spanSink()
-			for i := 0; i < n; i++ {
-				schedsim.Yield(schedsim.PointQuantum, "dispatch")
-				if ss != nil {
-					ss.BeginSpan(trace.SpanQuantum, ModuleName, int64(i))
-				}
-				p, err := m.Dispatch()
-				if err != nil {
-					if ss != nil {
-						ss.EndSpan(trace.SpanQuantum)
-					}
-					return
-				}
-				if body != nil {
-					body(cpu, p)
-				}
-				err = m.Preempt(p)
-				if ss != nil {
-					ss.EndSpan(trace.SpanQuantum)
-				}
-				if err != nil {
-					if first == nil {
-						first = err
-					}
-					return
-				}
-				total++
+			ran, err := m.workerLoop(wi, cpu, n, body, true)
+			total += ran
+			if err != nil && first == nil {
+				first = err
 			}
 		})
 	}

@@ -18,11 +18,27 @@
 // the two processor multiplexers, paired with eventcount
 // synchronization so the discoverer of an event needs no knowledge of
 // the identity of the processes awaiting it.
+//
+// The scheduling plane is built to survive storms of tens of
+// thousands of processes: the process table is sharded, the ready
+// set is per-CPU intrusive priority run queues with O(1)
+// enqueue/dequeue and work stealing when a queue drains, dispatch is
+// strict-priority with chained priority donation against inversion
+// (see PLock), and idle schedulers block on eventcounts instead of
+// polling. The locks split the manager's certification layer into
+// sub-ranks, acquired strictly downward:
+//
+//	manager (trace wiring, queue reconfiguration)
+//	> process-table shard (pid -> process map)
+//	> per-process lock (state, bindings, priorities)
+//	> per-CPU run queue (intrusive ready links)
+//	> real-memory message queue
 package uproc
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -32,6 +48,7 @@ import (
 	"multics/internal/hw"
 	"multics/internal/knownseg"
 	"multics/internal/lockrank"
+	"multics/internal/schedsim"
 	"multics/internal/segment"
 	"multics/internal/trace"
 	"multics/internal/vproc"
@@ -48,6 +65,16 @@ const SchedulerModule = "user-scheduler"
 
 // MsgWords is the size of one message in the real-memory queue.
 const MsgWords = 4
+
+// The manager's certification layer is split into sub-ranks; a holder
+// of one lock may only acquire strictly lower sub-ranks.
+const (
+	subQueue    = 0 // real-memory message queue
+	subRunQueue = 1 // per-CPU run queues
+	subProc     = 2 // per-process locks
+	subShard    = 3 // process-table shards
+	subManager  = 4 // trace wiring and queue reconfiguration
+)
 
 // State is a user process's scheduling state.
 type State int
@@ -78,21 +105,69 @@ func (s State) String() string {
 	}
 }
 
+// ErrNoReady is returned by Dispatch when every live process is
+// running, blocked, or dead: there is nothing to schedule.
+var ErrNoReady = errors.New("uproc: no ready process")
+
+// ErrNotRunning is returned (wrapped) by Preempt and Block when the
+// process is not bound to a virtual processor.
+var ErrNotRunning = errors.New("uproc: process not running")
+
 // A Process is one user process.
 type Process struct {
 	id        uint64
 	principal string
 	label     aim.Label
-	state     State
-	vp        *vproc.VP
 	dt        *hw.DescriptorTable
 	kst       *knownseg.KST
 	// stateUID is the virtual-memory segment holding the process
 	// state — deliberately NOT wired memory.
 	stateUID uint64
+
+	// pmu orders every mutation of this process's scheduling state.
+	// It ranks above the run-queue locks, so a holder can enqueue,
+	// and below the shard locks, so a table scan can inspect.
+	pmu lockrank.Mutex
+
+	state State
+	vp    *vproc.VP
+	// epoch counts dispatches; an executor preempting after running a
+	// body quotes the epoch it dispatched, so a process the body
+	// blocked and another CPU re-dispatched is not torn down twice.
+	epoch uint64
 	// await is the eventcount/value pair a blocked process waits on.
 	await      *eventcount.Eventcount
 	awaitValue uint64
+	// wakePending is the wakeup-waiting switch: a targeted wakeup
+	// delivered while the process was not blocked is remembered
+	// here, and the next awaitless Block consumes it instead of
+	// parking forever.
+	wakePending bool
+
+	// base is the assigned priority; donated is the highest priority
+	// donated by a waiter on a lock this process holds; eff is the
+	// max of the two and is what the run queues sort by.
+	base, donated, eff int
+	// home is the index of the run queue this process is enqueued on;
+	// it changes only when a stealing CPU claims the process.
+	home int
+	// held and waitingOn drive the donation chain: the priority locks
+	// this process holds, and the one it is currently waiting for.
+	held      []*PLock
+	waitingOn *PLock
+
+	// next/prev/queued/bucket are the intrusive run-queue links,
+	// protected by the run queue's lock, not pmu.
+	next, prev *Process
+	queued     bool
+	bucket     int
+
+	// createdCycle and firstRunCycle bracket the time-to-first-
+	// quantum latency the storm benchmark reports; firstRunCycle is
+	// -1 until the first dispatch.
+	createdCycle  int64
+	firstRunCycle int64
+
 	// cpu accumulates simulated cycles consumed, for accounting.
 	cpu int64
 }
@@ -108,7 +183,11 @@ func (p *Process) Principal() string { return p.principal }
 func (p *Process) Label() aim.Label { return p.label }
 
 // State returns the scheduling state.
-func (p *Process) State() State { return p.state }
+func (p *Process) State() State {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	return p.state
+}
 
 // DT returns the process's descriptor table (its address space).
 func (p *Process) DT() *hw.DescriptorTable { return p.dt }
@@ -125,6 +204,33 @@ func (p *Process) AddCPU(n int64) { p.cpu += n }
 
 // CPU reports accumulated simulated cycles.
 func (p *Process) CPU() int64 { return p.cpu }
+
+// Priority returns the assigned (base) priority.
+func (p *Process) Priority() int {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	return p.base
+}
+
+// Effective returns the effective priority: the base priority or the
+// highest donation against it, whichever is higher.
+func (p *Process) Effective() int {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	return p.eff
+}
+
+// FirstRunCycle reports the simulated cycle of the process's first
+// dispatch, -1 if it has never run; CreatedCycle the cycle it was
+// created. Their difference is the time to first quantum.
+func (p *Process) FirstRunCycle() int64 {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	return p.firstRunCycle
+}
+
+// CreatedCycle reports the simulated cycle the process was created.
+func (p *Process) CreatedCycle() int64 { return p.createdCycle }
 
 // A Message is one entry in the real-memory queue between the
 // processor multiplexing levels: an event discovered at the bottom
@@ -175,7 +281,7 @@ func NewQueue(seg *coreseg.Segment, meter *hw.CostMeter) (*Queue, error) {
 	// The queue lock takes the layer's low sub-rank: the manager may
 	// post to the queue, but the queue never calls up into the
 	// manager.
-	q.mu.InitSub(ModuleName, 0)
+	q.mu.InitSub(ModuleName, subQueue)
 	return q, nil
 }
 
@@ -246,6 +352,43 @@ func (q *Queue) Drain() ([]Message, error) {
 // multiplexer to await.
 func (q *Queue) Posted() *eventcount.Eventcount { return &q.posted }
 
+// numShards shards the pid -> process table so lookups and creations
+// from many CPUs do not serialize on one lock.
+const numShards = 32
+
+type procShard struct {
+	mu    lockrank.Mutex
+	procs map[uint64]*Process
+}
+
+// sinkSet bundles the trace destinations so the dispatch hot path
+// loads them with one atomic read instead of taking the manager lock.
+type sinkSet struct {
+	sink   trace.Sink
+	spans  trace.SpanSink
+	binder trace.ProcessBinder
+}
+
+// SchedStats is the scheduler's own meter block.
+type SchedStats struct {
+	// Dispatches counts successful process dispatches.
+	Dispatches int64
+	// Steals counts dispatches that took the process from another
+	// CPU's run queue; Migrations counts the re-homings that result.
+	Steals     int64
+	Migrations int64
+	// Donations counts priority donations; MaxDonationDepth is the
+	// longest donation chain walked.
+	Donations        int64
+	MaxDonationDepth int64
+	// Wakeups counts blocked processes made ready by event delivery.
+	Wakeups int64
+	// MaxQueueDepth is the deepest any run queue has been.
+	MaxQueueDepth int
+	// RunQueues is the configured run-queue count.
+	RunQueues int
+}
+
 // A Manager is the user process manager and two-level scheduler top.
 type Manager struct {
 	vps   *vproc.Manager
@@ -262,39 +405,62 @@ type Manager struct {
 	// StateCell is the quota cell charged for process states.
 	StateCell segment.CellRef
 
-	mu      lockrank.Mutex
-	sink    trace.Sink
-	spans   trace.SpanSink
-	binder  trace.ProcessBinder
-	nextPID uint64
-	procs   map[uint64]*Process
-	ready   []uint64
-	swaps   int64
+	// mu serializes reconfiguration (trace wiring, run-queue count);
+	// it is never on the dispatch path.
+	mu    lockrank.Mutex
+	sinks atomic.Pointer[sinkSet]
+
+	nextPID atomic.Uint64
+	shards  [numShards]procShard
+
+	// queues is written once at boot (SetRunQueues, before any
+	// process exists) and read-only thereafter.
+	queues   []*runQueue
+	nextHome atomic.Uint64
+
+	// readyEC is advanced on every enqueue, so idle schedulers can
+	// await work instead of polling.
+	readyEC eventcount.Eventcount
+	// donation gates priority donation, so the inversion tests can
+	// demonstrate the failure mode donation exists to prevent.
+	donation atomic.Bool
+
+	// running counts processes currently bound to virtual
+	// processors; the idle-wait path uses it to prove a future
+	// free-pool advance exists before sleeping.
+	running atomic.Int64
+
+	swaps            atomic.Int64
+	dispatches       atomic.Int64
+	steals           atomic.Int64
+	migrations       atomic.Int64
+	donations        atomic.Int64
+	maxDonationDepth atomic.Int64
+	wakeups          atomic.Int64
 }
 
 // SetTrace routes process-swap events (and the real-memory queue's
 // posts) to s.
 func (m *Manager) SetTrace(s trace.Sink) {
 	m.mu.Lock()
-	m.sink = s
-	m.spans = trace.SpanSinkOf(s)
-	m.binder, _ = s.(trace.ProcessBinder)
+	ss := &sinkSet{sink: s, spans: trace.SpanSinkOf(s)}
+	ss.binder, _ = s.(trace.ProcessBinder)
+	m.sinks.Store(ss)
 	m.mu.Unlock()
 	if m.queue != nil {
 		m.queue.SetTrace(s)
 	}
+	m.readyEC.Trace(s, ModuleName)
 }
 
-// spanSink reads the span sink under the manager lock.
+// spanSink reads the span sink without taking any lock.
 func (m *Manager) spanSink() trace.SpanSink {
-	m.mu.Lock()
-	s := m.spans
-	m.mu.Unlock()
-	return s
+	return m.sinks.Load().spans
 }
 
 // NewManager returns a user process manager multiplexing vps and
-// posting low-level events through queue.
+// posting low-level events through queue. It starts with a single
+// run queue; SetRunQueues reshapes it at boot.
 func NewManager(vps *vproc.Manager, segs *segment.Manager, ksm *knownseg.Manager, queue *Queue, meter *hw.CostMeter) *Manager {
 	m := &Manager{
 		vps:     vps,
@@ -304,24 +470,68 @@ func NewManager(vps *vproc.Manager, segs *segment.Manager, ksm *knownseg.Manager
 		meter:   meter,
 		KSTBase: 8,
 		KSTSize: 64,
-		nextPID: 1,
-		procs:   make(map[uint64]*Process),
 	}
-	m.mu.InitSub(ModuleName, 1)
+	m.mu.InitSub(ModuleName, subManager)
+	for i := range m.shards {
+		m.shards[i].mu.InitSub(ModuleName, subShard)
+		m.shards[i].procs = make(map[uint64]*Process)
+	}
+	m.queues = []*runQueue{newRunQueue(0)}
+	m.sinks.Store(&sinkSet{})
+	m.donation.Store(true)
 	return m
+}
+
+// SetRunQueues reshapes the ready set into n per-CPU run queues. It
+// must be called before any process exists (boot); reconfiguring a
+// populated scheduler would strand queued processes.
+func (m *Manager) SetRunQueues(n int) {
+	if n <= 0 {
+		panic("uproc: run-queue count must be positive")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		populated := len(sh.procs) > 0
+		sh.mu.Unlock()
+		if populated {
+			panic("uproc: SetRunQueues with live processes")
+		}
+	}
+	queues := make([]*runQueue, n)
+	for i := range queues {
+		queues[i] = newRunQueue(i)
+	}
+	m.queues = queues
+	m.nextHome.Store(0)
+}
+
+// RunQueues reports the configured run-queue count.
+func (m *Manager) RunQueues() int { return len(m.queues) }
+
+// ReadyEC returns the eventcount advanced on every enqueue to a run
+// queue; an idle scheduler awaits it instead of polling Dispatch.
+func (m *Manager) ReadyEC() *eventcount.Eventcount { return &m.readyEC }
+
+// SetDonation turns priority donation on or off (on by default). The
+// inversion regression tests turn it off to demonstrate starvation.
+func (m *Manager) SetDonation(on bool) { m.donation.Store(on) }
+
+func (m *Manager) shard(pid uint64) *procShard {
+	return &m.shards[pid%numShards]
 }
 
 // Create makes a new user process for the authenticated principal at
 // the given AIM label. Its state segment lives in the virtual memory,
-// charged like any other segment.
+// charged like any other segment. The process starts Ready at
+// DefaultPriority, homed round-robin across the run queues.
 func (m *Manager) Create(principal string, label aim.Label) (*Process, error) {
 	if principal == "" {
 		return nil, errors.New("uproc: empty principal")
 	}
-	m.mu.Lock()
-	pid := m.nextPID
-	m.nextPID++
-	m.mu.Unlock()
+	pid := m.nextPID.Add(1)
 
 	kst, err := m.ksm.NewKST(m.KSTBase, m.KSTSize)
 	if err != nil {
@@ -343,26 +553,77 @@ func (m *Manager) Create(principal string, label aim.Label) (*Process, error) {
 		return nil, err
 	}
 	p := &Process{
-		id:        pid,
-		principal: principal,
-		label:     label,
-		state:     Ready,
-		dt:        hw.NewDescriptorTable(m.KSTBase + m.KSTSize),
-		kst:       kst,
-		stateUID:  stateUID,
+		id:            pid,
+		principal:     principal,
+		label:         label,
+		state:         Ready,
+		dt:            hw.NewDescriptorTable(m.KSTBase + m.KSTSize),
+		kst:           kst,
+		stateUID:      stateUID,
+		base:          DefaultPriority,
+		eff:           DefaultPriority,
+		home:          int((m.nextHome.Add(1) - 1) % uint64(len(m.queues))),
+		createdCycle:  m.meter.Cycles(),
+		firstRunCycle: -1,
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.procs[pid] = p
-	m.ready = append(m.ready, pid)
+	p.pmu.InitSub(ModuleName, subProc)
+	sh := m.shard(pid)
+	sh.mu.Lock()
+	sh.procs[pid] = p
+	sh.mu.Unlock()
+	p.pmu.Lock()
+	m.enqueue(p, false)
+	p.pmu.Unlock()
 	return p, nil
+}
+
+// enqueue puts p on its home run queue (front prepends). Caller holds
+// p.pmu, which pins p.home and p.eff.
+func (m *Manager) enqueue(p *Process, front bool) {
+	rq := m.queues[p.home]
+	rq.mu.Lock()
+	rq.push(p, front)
+	rq.mu.Unlock()
+	m.readyEC.Advance()
+}
+
+// requeuePriority moves a queued process to its new effective-
+// priority bucket, O(1). Caller holds p.pmu (pinning home and eff);
+// the queued check runs under the run-queue lock, so a concurrent pop
+// simply wins and the move becomes a no-op.
+func (m *Manager) requeuePriority(p *Process) {
+	rq := m.queues[p.home]
+	rq.mu.Lock()
+	if p.queued && p.bucket != clampPriority(p.eff) {
+		rq.remove(p)
+		rq.push(p, false)
+	}
+	rq.mu.Unlock()
+}
+
+// SetPriority assigns p's base priority and repositions it in its run
+// queue if it is waiting.
+func (m *Manager) SetPriority(p *Process, pri int) {
+	pri = clampPriority(pri)
+	p.pmu.Lock()
+	p.base = pri
+	eff := p.base
+	if p.donated > eff {
+		eff = p.donated
+	}
+	if eff != p.eff {
+		p.eff = eff
+		m.requeuePriority(p)
+	}
+	p.pmu.Unlock()
 }
 
 // Lookup returns the process with the given id.
 func (m *Manager) Lookup(pid uint64) (*Process, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	p, ok := m.procs[pid]
+	sh := m.shard(pid)
+	sh.mu.Lock()
+	p, ok := sh.procs[pid]
+	sh.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("uproc: no process %d", pid)
 	}
@@ -372,77 +633,181 @@ func (m *Manager) Lookup(pid uint64) (*Process, error) {
 // Count reports the number of live processes — arbitrary, unlike the
 // fixed virtual-processor count below.
 func (m *Manager) Count() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	n := 0
-	for _, p := range m.procs {
-		if p.state != Dead {
-			n++
-		}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.procs)
+		sh.mu.Unlock()
 	}
 	return n
 }
 
-// Swaps reports how many process-state swaps (virtual-memory loads or
-// stores of a state segment) have occurred.
-func (m *Manager) Swaps() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.swaps
+// allPIDs returns every registered process id in ascending order, so
+// broadcast wakeups touch processes in a deterministic order.
+func (m *Manager) allPIDs() []uint64 {
+	var pids []uint64
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for pid := range sh.procs {
+			pids = append(pids, pid)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	return pids
 }
 
-// Dispatch binds the longest-waiting ready process to a free virtual
-// processor and returns it. Loading the process state goes through
-// the virtual memory — the expensive top-level half of the design.
-func (m *Manager) Dispatch() (*Process, error) {
-	m.mu.Lock()
-	var p *Process
-	for len(m.ready) > 0 {
-		pid := m.ready[0]
-		m.ready = m.ready[1:]
-		cand := m.procs[pid]
-		if cand != nil && cand.state == Ready {
-			p = cand
-			break
+// Swaps reports how many process-state swaps (virtual-memory loads or
+// stores of a state segment) have occurred.
+func (m *Manager) Swaps() int64 { return m.swaps.Load() }
+
+// SchedStats returns the scheduler's counters: dispatch volume, work
+// stealing, donation, wakeups, and queue depth.
+func (m *Manager) SchedStats() SchedStats {
+	st := SchedStats{
+		Dispatches:       m.dispatches.Load(),
+		Steals:           m.steals.Load(),
+		Migrations:       m.migrations.Load(),
+		Donations:        m.donations.Load(),
+		MaxDonationDepth: m.maxDonationDepth.Load(),
+		Wakeups:          m.wakeups.Load(),
+		RunQueues:        len(m.queues),
+	}
+	for _, rq := range m.queues {
+		rq.mu.Lock()
+		if rq.maxDepth > st.MaxQueueDepth {
+			st.MaxQueueDepth = rq.maxDepth
+		}
+		rq.mu.Unlock()
+	}
+	return st
+}
+
+// take pops the highest-priority ready process, preferring run queue
+// qi and stealing from the others in ring order when it is empty. It
+// returns the process and the queue it came from. One queue lock is
+// held at a time.
+func (m *Manager) take(qi int) (*Process, int) {
+	n := len(m.queues)
+	for i := 0; i < n; i++ {
+		vi := (qi + i) % n
+		rq := m.queues[vi]
+		rq.mu.Lock()
+		p := rq.popMax()
+		rq.mu.Unlock()
+		if p != nil {
+			return p, vi
 		}
 	}
-	if p == nil {
-		m.mu.Unlock()
-		return nil, errors.New("uproc: no ready process")
-	}
-	m.swaps++
-	m.mu.Unlock()
+	return nil, -1
+}
 
-	vp, err := m.vps.AcquireUser(p.id)
-	if err != nil {
-		m.mu.Lock()
-		p.state = Ready
-		m.ready = append([]uint64{p.id}, m.ready...)
-		m.mu.Unlock()
-		return nil, err
+// Dispatch binds the highest-priority ready process to a free virtual
+// processor and returns it; processes of equal priority run FIFO.
+// Loading the process state goes through the virtual memory — the
+// expensive top-level half of the design.
+func (m *Manager) Dispatch() (*Process, error) {
+	p, _, err := m.DispatchOn(0)
+	return p, err
+}
+
+// DispatchOn is Dispatch preferring the given run queue — each
+// scheduler worker passes its own CPU's queue — stealing from sibling
+// queues when it is empty. It also returns the dispatch epoch, which
+// preemptIfCurrent uses to tear down exactly the dispatch it made.
+func (m *Manager) DispatchOn(qi int) (*Process, uint64, error) {
+	if n := len(m.queues); qi < 0 || qi >= n {
+		qi %= n
+		if qi < 0 {
+			qi += n
+		}
 	}
-	// Touch the state segment (a real virtual-memory reference) and
-	// charge the swap cost.
-	if _, err := m.segs.EnsureResident(p.stateUID, 0); err != nil {
-		_ = m.vps.ReleaseUser(vp)
-		return nil, err
+	for {
+		p, from := m.take(qi)
+		if p == nil {
+			return nil, 0, ErrNoReady
+		}
+		ss := m.sinks.Load()
+		if from != qi {
+			m.steals.Add(1)
+			if ss.sink != nil {
+				ss.sink.Emit(trace.Event{Kind: trace.EvSchedSteal, Module: ModuleName, Arg0: int64(qi), Arg1: int64(from), Arg2: int64(p.id)})
+			}
+			schedsim.Yield(schedsim.PointMark, "uproc-steal")
+		}
+		// Claim: the pop made p invisible to other dispatchers, but a
+		// concurrent Destroy can still have killed it.
+		p.pmu.Lock()
+		if p.state != Ready {
+			p.pmu.Unlock()
+			continue
+		}
+		if p.home != qi {
+			old := p.home
+			p.home = qi
+			m.migrations.Add(1)
+			if ss.sink != nil {
+				ss.sink.Emit(trace.Event{Kind: trace.EvSchedMigrate, Module: ModuleName, Arg0: int64(old), Arg1: int64(qi), Arg2: int64(p.id)})
+			}
+		}
+		p.pmu.Unlock()
+
+		vp, err := m.vps.AcquireUser(p.id)
+		if err != nil {
+			m.requeueFront(p)
+			return nil, 0, err
+		}
+		// Touch the state segment (a real virtual-memory reference) and
+		// charge the swap cost.
+		if _, err := m.segs.EnsureResident(p.stateUID, 0); err != nil {
+			_ = m.vps.ReleaseUser(vp)
+			m.requeueFront(p)
+			return nil, 0, err
+		}
+		m.swaps.Add(1)
+		m.meter.Add(hw.CycProcessSwap)
+
+		p.pmu.Lock()
+		if p.state != Ready {
+			p.pmu.Unlock()
+			_ = m.vps.ReleaseUser(vp)
+			continue
+		}
+		p.state = Running
+		p.vp = vp
+		p.epoch++
+		epoch := p.epoch
+		if p.firstRunCycle < 0 {
+			p.firstRunCycle = m.meter.Cycles()
+		}
+		p.pmu.Unlock()
+		m.running.Add(1)
+		m.dispatches.Add(1)
+		if ss.sink != nil {
+			// Arg1 = 0: a state load through the virtual memory.
+			ss.sink.Emit(trace.Event{Kind: trace.EvProcessSwap, Module: ModuleName, Cost: hw.CycProcessSwap, Arg0: int64(p.id)})
+		}
+		if ss.binder != nil {
+			// Span self-time is now attributed to p; the binding is left
+			// in place at preemption, so the tail of a quantum span still
+			// charges the process that ran it.
+			ss.binder.SetRunningProcess(p.id)
+		}
+		return p, epoch, nil
 	}
-	m.meter.Add(hw.CycProcessSwap)
-	m.mu.Lock()
-	if m.sink != nil {
-		// Arg1 = 0: a state load through the virtual memory.
-		m.sink.Emit(trace.Event{Kind: trace.EvProcessSwap, Module: ModuleName, Cost: hw.CycProcessSwap, Arg0: int64(p.id)})
+}
+
+// requeueFront returns a claimed-but-undispatched process to the
+// front of its queue, so a transient failure (no free virtual
+// processor) does not cost it its place in line.
+func (m *Manager) requeueFront(p *Process) {
+	p.pmu.Lock()
+	if p.state == Ready {
+		m.enqueue(p, true)
 	}
-	p.state = Running
-	p.vp = vp
-	if m.binder != nil {
-		// Span self-time is now attributed to p; the binding is left
-		// in place at preemption, so the tail of a quantum span still
-		// charges the process that ran it.
-		m.binder.SetRunningProcess(p.id)
-	}
-	m.mu.Unlock()
-	return p, nil
+	p.pmu.Unlock()
 }
 
 // Preempt returns a running process to the ready queue, storing its
@@ -451,40 +816,145 @@ func (m *Manager) Preempt(p *Process) error {
 	return m.unbind(p, Ready)
 }
 
-// Block parks a running process until ec reaches v.
+// preemptIfCurrent preempts p only if it is still running the
+// dispatch identified by epoch; a no-op (nil) otherwise. Executors
+// use it so a body that blocked its process — possibly already
+// re-dispatched by another CPU — is not torn down twice.
+func (m *Manager) preemptIfCurrent(p *Process, epoch uint64) error {
+	p.pmu.Lock()
+	if p.state != Running || p.vp == nil || p.epoch != epoch {
+		p.pmu.Unlock()
+		return nil
+	}
+	vp := p.vp
+	p.vp = nil
+	p.state = Ready
+	m.enqueue(p, false)
+	p.pmu.Unlock()
+	return m.finishUnbind(p, vp, Ready)
+}
+
+// Block parks a running process until ec reaches v. A nil ec blocks
+// until any wakeup message addressed to the process arrives. The
+// rescue at the end closes the lost-wakeup window: an event delivered
+// between the state store and this check wakes the process here
+// instead of never.
 func (m *Manager) Block(p *Process, ec *eventcount.Eventcount, v uint64) error {
-	m.mu.Lock()
+	schedsim.Yield(schedsim.PointMark, "uproc-block")
+	p.pmu.Lock()
 	p.await = ec
 	p.awaitValue = v
-	m.mu.Unlock()
-	return m.unbind(p, Blocked)
+	p.pmu.Unlock()
+	if err := m.unbind(p, Blocked); err != nil {
+		return err
+	}
+	if ec != nil {
+		if _, ok := ec.TryAwait(v); ok {
+			m.tryWake(p)
+		}
+		return nil
+	}
+	// Wakeup-waiting rescue: a targeted wakeup delivered while the
+	// process was still running could not unblock it then; the switch
+	// remembers it, and consuming it here closes the lost-wakeup
+	// window between the delivery scan and this block.
+	p.pmu.Lock()
+	if p.wakePending && p.state == Blocked {
+		p.wakePending = false
+		p.state = Ready
+		p.await = nil
+		m.enqueue(p, false)
+		p.pmu.Unlock()
+		m.wakeups.Add(1)
+		return nil
+	}
+	p.pmu.Unlock()
+	return nil
 }
 
 func (m *Manager) unbind(p *Process, to State) error {
-	m.mu.Lock()
+	p.pmu.Lock()
 	if p.state != Running || p.vp == nil {
-		m.mu.Unlock()
-		return fmt.Errorf("uproc: process %d is %v, not running", p.id, p.state)
+		st := p.state
+		p.pmu.Unlock()
+		return fmt.Errorf("uproc: process %d is %v: %w", p.id, st, ErrNotRunning)
 	}
 	vp := p.vp
 	p.vp = nil
 	p.state = to
 	if to == Ready {
-		m.ready = append(m.ready, p.id)
+		m.enqueue(p, false)
 	}
-	m.swaps++
-	m.mu.Unlock()
+	p.pmu.Unlock()
+	return m.finishUnbind(p, vp, to)
+}
+
+// finishUnbind stores the state word back through the virtual memory,
+// meters the swap, and frees the virtual processor (which advances
+// the free-pool eventcount, waking idle schedulers).
+func (m *Manager) finishUnbind(p *Process, vp *vproc.VP, to State) error {
+	m.running.Add(-1)
 	if err := m.segs.WriteWord(p.stateUID, 1, hw.Word(to)); err != nil {
 		return err
 	}
+	m.swaps.Add(1)
 	m.meter.Add(hw.CycProcessSwap)
-	m.mu.Lock()
-	if m.sink != nil {
+	if ss := m.sinks.Load(); ss.sink != nil {
 		// Arg1 = 1: a state store through the virtual memory.
-		m.sink.Emit(trace.Event{Kind: trace.EvProcessSwap, Module: ModuleName, Cost: hw.CycProcessSwap, Arg0: int64(p.id), Arg1: 1})
+		ss.sink.Emit(trace.Event{Kind: trace.EvProcessSwap, Module: ModuleName, Cost: hw.CycProcessSwap, Arg0: int64(p.id), Arg1: 1})
 	}
-	m.mu.Unlock()
 	return m.vps.ReleaseUser(vp)
+}
+
+// tryWake moves a blocked process whose await is satisfied to Ready,
+// reporting whether it woke.
+func (m *Manager) tryWake(p *Process) bool {
+	p.pmu.Lock()
+	if p.state != Blocked {
+		p.pmu.Unlock()
+		return false
+	}
+	if p.await != nil {
+		if _, ok := p.await.TryAwait(p.awaitValue); !ok {
+			p.pmu.Unlock()
+			return false
+		}
+	}
+	p.state = Ready
+	p.await = nil
+	p.wakePending = false
+	m.enqueue(p, false)
+	p.pmu.Unlock()
+	m.wakeups.Add(1)
+	return true
+}
+
+// wakeTargeted delivers a wakeup addressed specifically to p. A
+// blocked process wakes by the tryWake rules; one that is running or
+// ready keeps the wakeup-waiting switch set instead, so its next
+// awaitless Block finds the wakeup rather than losing it. The whole
+// decision sits under the process lock — delivery and Block cannot
+// interleave between the state check and the flag.
+func (m *Manager) wakeTargeted(p *Process) bool {
+	p.pmu.Lock()
+	if p.state == Blocked && p.await == nil {
+		p.state = Ready
+		p.wakePending = false
+		m.enqueue(p, false)
+		p.pmu.Unlock()
+		m.wakeups.Add(1)
+		return true
+	}
+	if p.state == Blocked {
+		p.pmu.Unlock()
+		// Blocked on an eventcount: the count decides, as before.
+		return m.tryWake(p)
+	}
+	if p.state != Dead {
+		p.wakePending = true
+	}
+	p.pmu.Unlock()
+	return false
 }
 
 // Wakeup posts a wakeup message for a process into the real-memory
@@ -496,33 +966,39 @@ func (m *Manager) Wakeup(pid uint64, datum uint64) error {
 
 // DeliverEvents drains the real-memory queue and unblocks every
 // blocked process whose awaited eventcount has been reached, moving
-// it to the ready queue. The scheduler's virtual processor runs this;
-// it returns the number of processes made ready.
+// it to its ready queue. The scheduler's virtual processor runs this;
+// it returns the number of processes made ready. Targeted messages
+// cost one sharded lookup; broadcasts sweep the pid space in
+// ascending order, so delivery order is deterministic.
 func (m *Manager) DeliverEvents() (int, error) {
 	msgs, err := m.queue.Drain()
 	if err != nil {
 		return 0, err
 	}
+	if len(msgs) == 0 {
+		return 0, nil
+	}
+	schedsim.Yield(schedsim.PointMark, "uproc-deliver")
 	woken := 0
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, msg := range msgs {
-		for pid, p := range m.procs {
-			if p.state != Blocked {
+		if msg.Process != 0 {
+			p, err := m.Lookup(msg.Process)
+			if err != nil {
 				continue
 			}
-			if msg.Process != 0 && msg.Process != pid {
+			if m.wakeTargeted(p) {
+				woken++
+			}
+			continue
+		}
+		for _, pid := range m.allPIDs() {
+			p, err := m.Lookup(pid)
+			if err != nil {
 				continue
 			}
-			if p.await != nil {
-				if _, ok := p.await.TryAwait(p.awaitValue); !ok {
-					continue
-				}
+			if m.tryWake(p) {
+				woken++
 			}
-			p.state = Ready
-			p.await = nil
-			m.ready = append(m.ready, pid)
-			woken++
 		}
 	}
 	return woken, nil
@@ -530,37 +1006,64 @@ func (m *Manager) DeliverEvents() (int, error) {
 
 // Audit checks the manager's invariants: running processes hold
 // exactly one user-bound virtual processor, ready processes appear on
-// the ready queue, and nothing dead lingers.
+// a run queue, effective priorities are consistent, and nothing dead
+// lingers.
 func (m *Manager) Audit() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var bad []string
-	onQueue := make(map[uint64]bool, len(m.ready))
-	for _, pid := range m.ready {
-		onQueue[pid] = true
-	}
-	for pid, p := range m.procs {
-		switch p.state {
-		case Running:
-			if p.vp == nil {
-				bad = append(bad, fmt.Sprintf("process %d running without a virtual processor", pid))
-			} else if p.vp.Binding() != vproc.UserBound || p.vp.User() != pid {
-				bad = append(bad, fmt.Sprintf("process %d running on vp %d bound to %v/%d", pid, p.vp.ID(), p.vp.Binding(), p.vp.User()))
+	onQueue := make(map[uint64]bool)
+	for _, rq := range m.queues {
+		rq.mu.Lock()
+		for b := 0; b < NumPriorities; b++ {
+			n := 0
+			for p := rq.heads[b]; p != nil; p = p.next {
+				onQueue[p.id] = true
+				n++
 			}
-		case Ready:
-			if !onQueue[pid] {
-				bad = append(bad, fmt.Sprintf("process %d ready but not queued", pid))
+			if n > 0 && rq.mask&(1<<uint(b)) == 0 {
+				bad = append(bad, fmt.Sprintf("run queue %d bucket %d populated but mask clear", rq.id, b))
 			}
-			if p.vp != nil {
-				bad = append(bad, fmt.Sprintf("process %d ready but still holds vp %d", pid, p.vp.ID()))
+			if n == 0 && rq.mask&(1<<uint(b)) != 0 {
+				bad = append(bad, fmt.Sprintf("run queue %d bucket %d empty but mask set", rq.id, b))
 			}
-		case Blocked:
-			if p.vp != nil {
-				bad = append(bad, fmt.Sprintf("process %d blocked but still holds vp %d", pid, p.vp.ID()))
-			}
-		case Dead:
-			bad = append(bad, fmt.Sprintf("process %d dead but registered", pid))
 		}
+		rq.mu.Unlock()
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for pid, p := range sh.procs {
+			p.pmu.Lock()
+			eff := p.base
+			if p.donated > eff {
+				eff = p.donated
+			}
+			if p.eff != eff {
+				bad = append(bad, fmt.Sprintf("process %d effective priority %d, want max(base %d, donated %d)", pid, p.eff, p.base, p.donated))
+			}
+			switch p.state {
+			case Running:
+				if p.vp == nil {
+					bad = append(bad, fmt.Sprintf("process %d running without a virtual processor", pid))
+				} else if p.vp.Binding() != vproc.UserBound || p.vp.User() != pid {
+					bad = append(bad, fmt.Sprintf("process %d running on vp %d bound to %v/%d", pid, p.vp.ID(), p.vp.Binding(), p.vp.User()))
+				}
+			case Ready:
+				if !onQueue[pid] {
+					bad = append(bad, fmt.Sprintf("process %d ready but not queued", pid))
+				}
+				if p.vp != nil {
+					bad = append(bad, fmt.Sprintf("process %d ready but still holds vp %d", pid, p.vp.ID()))
+				}
+			case Blocked:
+				if p.vp != nil {
+					bad = append(bad, fmt.Sprintf("process %d blocked but still holds vp %d", pid, p.vp.ID()))
+				}
+			case Dead:
+				bad = append(bad, fmt.Sprintf("process %d dead but registered", pid))
+			}
+			p.pmu.Unlock()
+		}
+		sh.mu.Unlock()
 	}
 	return bad
 }
@@ -568,16 +1071,29 @@ func (m *Manager) Audit() []string {
 // Destroy ends a process, releasing its virtual processor, state
 // segment and KST.
 func (m *Manager) Destroy(p *Process) error {
-	m.mu.Lock()
+	p.pmu.Lock()
 	if p.state == Dead {
-		m.mu.Unlock()
+		p.pmu.Unlock()
 		return fmt.Errorf("uproc: process %d already dead", p.id)
 	}
+	rq := m.queues[p.home]
+	rq.mu.Lock()
+	if p.queued {
+		rq.remove(p)
+	}
+	rq.mu.Unlock()
 	vp := p.vp
+	wasRunning := p.state == Running && vp != nil
 	p.vp = nil
 	p.state = Dead
-	delete(m.procs, p.id)
-	m.mu.Unlock()
+	p.pmu.Unlock()
+	sh := m.shard(p.id)
+	sh.mu.Lock()
+	delete(sh.procs, p.id)
+	sh.mu.Unlock()
+	if wasRunning {
+		m.running.Add(-1)
+	}
 	if vp != nil {
 		if err := m.vps.ReleaseUser(vp); err != nil {
 			return err
@@ -591,10 +1107,12 @@ func (m *Manager) Destroy(p *Process) error {
 	return nil
 }
 
-// RunQuantum dispatches up to n ready processes round-robin, running
-// body for each with the process bound to a virtual processor, then
-// preempting it. It is the simple scheduling mix used by the
-// benchmarks.
+// RunQuantum dispatches up to n ready processes in priority order,
+// running body for each with the process bound to a virtual
+// processor, then preempting. It is the simple scheduling mix used by
+// the benchmarks; it stops early when the ready set or the virtual-
+// processor pool drains. Being a single worker standing in for every
+// CPU, it rotates its preferred run queue so no queue starves.
 func (m *Manager) RunQuantum(n int, body func(*Process)) (int, error) {
 	ss := m.spanSink()
 	ran := 0
@@ -602,17 +1120,20 @@ func (m *Manager) RunQuantum(n int, body func(*Process)) (int, error) {
 		if ss != nil {
 			ss.BeginSpan(trace.SpanQuantum, ModuleName, int64(i))
 		}
-		p, err := m.Dispatch()
+		p, epoch, err := m.DispatchOn(i % len(m.queues))
 		if err != nil {
 			if ss != nil {
 				ss.EndSpan(trace.SpanQuantum)
 			}
-			break
+			if errors.Is(err, ErrNoReady) || errors.Is(err, vproc.ErrNoFreeVP) {
+				break
+			}
+			return ran, err
 		}
 		if body != nil {
 			body(p)
 		}
-		err = m.Preempt(p)
+		err = m.preemptIfCurrent(p, epoch)
 		if ss != nil {
 			ss.EndSpan(trace.SpanQuantum)
 		}
@@ -625,13 +1146,14 @@ func (m *Manager) RunQuantum(n int, body func(*Process)) (int, error) {
 }
 
 // RunQuantumParallel is the true-multiprocessor form of RunQuantum:
-// one goroutine per processor, each dispatching ready processes onto
-// its own virtual processor, running body with the process bound to
-// that processor, and preempting. Each goroutine runs at most n
-// processes; a goroutine stops when the ready queue (or the free
-// virtual-processor pool) drains. Trace events emitted inside body
-// are attributed to the running processor. The total across
-// processors is returned with the first preemption error, if any.
+// one goroutine per processor, each dispatching from its own run
+// queue (stealing when it drains), running body with the process
+// bound to that processor, and preempting. Each goroutine runs at
+// most n processes; a goroutine stops when the ready set drains, and
+// sleeps on the free-pool eventcount when the virtual processors are
+// all busy. Trace events emitted inside body are attributed to the
+// running processor. The total across processors is returned with the
+// first real error, if any.
 func (m *Manager) RunQuantumParallel(cpus []*hw.Processor, n int, body func(cpu *hw.Processor, p *Process)) (int, error) {
 	var (
 		wg    sync.WaitGroup
@@ -639,44 +1161,76 @@ func (m *Manager) RunQuantumParallel(cpus []*hw.Processor, n int, body func(cpu 
 		errMu sync.Mutex
 		first error
 	)
-	for _, cpu := range cpus {
+	for wi, cpu := range cpus {
 		wg.Add(1)
-		go func(cpu *hw.Processor) {
+		go func(wi int, cpu *hw.Processor) {
 			defer wg.Done()
 			defer trace.BindCPU(cpu.ID)()
-			ss := m.spanSink()
-			for i := 0; i < n; i++ {
-				if ss != nil {
-					ss.BeginSpan(trace.SpanQuantum, ModuleName, int64(i))
+			ran, err := m.workerLoop(wi, cpu, n, body, false)
+			total.Add(int64(ran))
+			if err != nil {
+				errMu.Lock()
+				if first == nil {
+					first = err
 				}
-				p, err := m.Dispatch()
-				if err != nil {
-					if ss != nil {
-						ss.EndSpan(trace.SpanQuantum)
-					}
-					return
-				}
-				if body != nil {
-					body(cpu, p)
-				}
-				err = m.Preempt(p)
-				if ss != nil {
-					ss.EndSpan(trace.SpanQuantum)
-				}
-				if err != nil {
-					errMu.Lock()
-					if first == nil {
-						first = err
-					}
-					errMu.Unlock()
-					return
-				}
-				total.Add(1)
+				errMu.Unlock()
 			}
-		}(cpu)
+		}(wi, cpu)
 	}
 	wg.Wait()
 	errMu.Lock()
 	defer errMu.Unlock()
 	return int(total.Load()), first
+}
+
+// workerLoop is one scheduler worker's quantum loop, shared by both
+// executors: dispatch from the worker's run queue, run the body,
+// preempt-if-current. When every virtual processor is busy the worker
+// parks on the free-pool eventcount — but only if some process is
+// running, which proves a release (and advance) is coming; otherwise
+// the pool is exhausted for good and the worker exits.
+func (m *Manager) workerLoop(wi int, cpu *hw.Processor, n int, body func(cpu *hw.Processor, p *Process), sim bool) (int, error) {
+	ss := m.spanSink()
+	qi := wi % len(m.queues)
+	ran := 0
+	for i := 0; i < n; i++ {
+		if sim {
+			schedsim.Yield(schedsim.PointQuantum, "dispatch")
+		}
+		if ss != nil {
+			ss.BeginSpan(trace.SpanQuantum, ModuleName, int64(i))
+		}
+		freeSeen := m.vps.FreeEC().Read()
+		p, epoch, err := m.DispatchOn(qi)
+		if err != nil {
+			if ss != nil {
+				ss.EndSpan(trace.SpanQuantum)
+			}
+			if errors.Is(err, vproc.ErrNoFreeVP) {
+				if m.running.Load() > 0 {
+					// A bound process exists, so a ReleaseUser —
+					// and its advance past freeSeen — is coming.
+					m.vps.FreeEC().Await(freeSeen + 1)
+					continue
+				}
+				return ran, nil
+			}
+			if errors.Is(err, ErrNoReady) {
+				return ran, nil
+			}
+			return ran, err
+		}
+		if body != nil {
+			body(cpu, p)
+		}
+		err = m.preemptIfCurrent(p, epoch)
+		if ss != nil {
+			ss.EndSpan(trace.SpanQuantum)
+		}
+		if err != nil {
+			return ran, err
+		}
+		ran++
+	}
+	return ran, nil
 }

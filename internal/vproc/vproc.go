@@ -100,6 +100,12 @@ type Manager struct {
 	procs  []*hw.Processor
 	sink   trace.Sink
 	spans  trace.SpanSink
+	// free is the multiplexable processors as a LIFO stack, so
+	// acquire and release are O(1) however many processors exist.
+	free []*VP
+	// freeEC counts releases back to the free pool; idle schedulers
+	// await it instead of polling AcquireUser.
+	freeEC eventcount.Eventcount
 	// dispatches counts work items run, for the performance
 	// comparisons.
 	dispatches int64
@@ -112,7 +118,16 @@ func (m *Manager) SetTrace(s trace.Sink) {
 	m.sink = s
 	m.spans = trace.SpanSinkOf(s)
 	m.mu.Unlock()
+	m.freeEC.Trace(s, ModuleName)
 }
+
+// FreeEC returns the eventcount advanced every time a virtual
+// processor returns to the free pool. A scheduler that finds no free
+// processor reads it before the failed acquire and awaits the next
+// value, so an idle processor sleeps instead of spinning — the
+// eventcount discipline of the paper applied to the dispatcher
+// itself.
+func (m *Manager) FreeEC() *eventcount.Eventcount { return &m.freeEC }
 
 // NewManager creates n virtual processors whose state blocks live in
 // the core segment states (which must hold n*StateWords words).
@@ -131,6 +146,11 @@ func NewManager(n int, states *coreseg.Segment, meter *hw.CostMeter) (*Manager, 
 		if err := m.saveState(vp); err != nil {
 			return nil, err
 		}
+	}
+	// The free stack is seeded in reverse so pops hand out the lowest
+	// numbered processor first, matching the original scan order.
+	for i := n - 1; i >= 0; i-- {
+		m.free = append(m.free, m.vps[i])
 	}
 	return m, nil
 }
@@ -170,15 +190,25 @@ func (m *Manager) BindKernel(module string) (*VP, error) {
 	if _, ok := m.byMod[module]; ok {
 		return nil, fmt.Errorf("vproc: module %s already has a virtual processor", module)
 	}
-	for _, v := range m.vps {
-		if v.binding == Free {
-			v.binding = KernelBound
-			v.module = module
-			m.byMod[module] = v
-			return v, m.saveState(v)
-		}
+	v := m.popFree()
+	if v == nil {
+		return nil, ErrNoFreeVP
 	}
-	return nil, ErrNoFreeVP
+	v.binding = KernelBound
+	v.module = module
+	m.byMod[module] = v
+	return v, m.saveState(v)
+}
+
+// popFree takes the next free virtual processor off the stack, nil
+// when none remain. Caller holds m.mu.
+func (m *Manager) popFree() *VP {
+	if len(m.free) == 0 {
+		return nil
+	}
+	v := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	return v
 }
 
 // Enqueue hands a work item to the virtual processor bound to the
@@ -260,34 +290,41 @@ func (m *Manager) Dispatches() int64 {
 }
 
 // AcquireUser multiplexes a free virtual processor onto the given user
-// process.
+// process. O(1): the free pool is a stack, not a scan.
 func (m *Manager) AcquireUser(user uint64) (*VP, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, v := range m.vps {
-		if v.binding == Free {
-			v.binding = UserBound
-			v.user = user
-			m.meter.Add(hw.CycDispatch)
-			if m.sink != nil {
-				m.sink.Emit(trace.Event{Kind: trace.EvDispatch, Module: ModuleName, Cost: hw.CycDispatch, Arg0: int64(v.id), Arg1: int64(user)})
-			}
-			return v, m.saveState(v)
-		}
+	v := m.popFree()
+	if v == nil {
+		return nil, ErrNoFreeVP
 	}
-	return nil, ErrNoFreeVP
+	v.binding = UserBound
+	v.user = user
+	m.meter.Add(hw.CycDispatch)
+	if m.sink != nil {
+		m.sink.Emit(trace.Event{Kind: trace.EvDispatch, Module: ModuleName, Cost: hw.CycDispatch, Arg0: int64(v.id), Arg1: int64(user)})
+	}
+	return v, m.saveState(v)
 }
 
-// ReleaseUser returns a user-bound virtual processor to the free pool.
+// ReleaseUser returns a user-bound virtual processor to the free pool
+// and advances the free-pool eventcount, waking schedulers that went
+// to sleep on ErrNoFreeVP.
 func (m *Manager) ReleaseUser(v *VP) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if v.binding != UserBound {
+		m.mu.Unlock()
 		return fmt.Errorf("vproc: release of %v virtual processor %d", v.binding, v.id)
 	}
 	v.binding = Free
 	v.user = 0
-	return m.saveState(v)
+	m.free = append(m.free, v)
+	err := m.saveState(v)
+	m.mu.Unlock()
+	// Advance outside the lock: waiters woken by the eventcount call
+	// straight back into AcquireUser.
+	m.freeEC.Advance()
+	return err
 }
 
 // FreeVPs reports how many virtual processors are available for user
@@ -295,13 +332,7 @@ func (m *Manager) ReleaseUser(v *VP) error {
 func (m *Manager) FreeVPs() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	n := 0
-	for _, v := range m.vps {
-		if v.binding == Free {
-			n++
-		}
-	}
-	return n
+	return len(m.free)
 }
 
 // Audit checks the manager's invariants: the module index and the
@@ -316,7 +347,20 @@ func (m *Manager) Audit() []string {
 			bad = append(bad, fmt.Sprintf("module %s indexed to vp %d which is %v/%q", mod, v.id, v.binding, v.module))
 		}
 	}
+	onFree := make(map[int]bool, len(m.free))
+	for _, v := range m.free {
+		if v.binding != Free {
+			bad = append(bad, fmt.Sprintf("vp %d on the free stack but bound %v", v.id, v.binding))
+		}
+		if onFree[v.id] {
+			bad = append(bad, fmt.Sprintf("vp %d on the free stack twice", v.id))
+		}
+		onFree[v.id] = true
+	}
 	for _, v := range m.vps {
+		if v.binding == Free && !onFree[v.id] {
+			bad = append(bad, fmt.Sprintf("vp %d free but missing from the free stack", v.id))
+		}
 		if v.binding == KernelBound {
 			if m.byMod[v.module] != v {
 				bad = append(bad, fmt.Sprintf("vp %d bound to %q but not indexed", v.id, v.module))

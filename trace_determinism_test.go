@@ -12,6 +12,8 @@ import (
 	"reflect"
 	"testing"
 
+	"multics/internal/aim"
+	"multics/internal/answering"
 	"multics/internal/directory"
 	"multics/internal/hw"
 	"multics/internal/schedsim"
@@ -142,6 +144,28 @@ var traceWorkloads = []struct {
 		name: "smp4-sim-storm",
 		cfg:  func(c *Config) { c.Processors = 4; c.MemFrames = 28; c.WiredFrames = 8 },
 		run:  func(t *testing.T, k *Kernel) { simTraceStorm(t, k, 4) },
+	},
+	{
+		// A miniature login storm through the answering service on
+		// two processors under the deterministic executor: the
+		// sharded run queues, block/wake churn over the real-memory
+		// queue, and the logout flood must replay byte-identically.
+		name: "login-storm",
+		cfg:  func(c *Config) { c.Processors = 2; c.RootQuota = 10000 },
+		run: func(t *testing.T, k *Kernel) {
+			svc := answering.New(answering.Split, k.Meter, func(principal string, label aim.Label) (any, error) {
+				return k.CreateProcess(principal, label)
+			})
+			_, err := svc.RunStorm(answering.StormConfig{
+				Users:          12,
+				Rounds:         2,
+				QuantaPerRound: 16,
+				BlockEvery:     3,
+			}, k.StormOps(uproc.SimExecutor{Seed: 1977}, k.CPUs))
+			if err != nil {
+				t.Fatal(err)
+			}
+		},
 	},
 	{
 		// The scheduler's quantum loop on two processors under the
