@@ -16,6 +16,7 @@
 //	P12 login storm                      (1k/10k users; O(1) dispatch)
 //	P13 fault-service latency            (span p50/p99/max, 1/2/4 CPUs)
 //	P14 deterministic parallel storm     (sim executor; gated SMP cycles)
+//	P15 disk pipeline fault storm        (1/2/4 CPUs x 1/2/4 packs; gated)
 //
 // Every comparison is also written machine-readable to the path named
 // by -json (default BENCH_kernel.json; empty disables). With
@@ -82,6 +83,7 @@ func main() {
 	p12()
 	p13()
 	p14()
+	p15()
 	if *jsonPath != "" {
 		out, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
 		check(err)
@@ -918,4 +920,140 @@ func simParallelStorm(nCPU, totalRounds, pages int, seed int64) (int64, int) {
 		}
 	}
 	return busiest, rounds * nCPU
+}
+
+// p15 measures the async disk pipeline: per-CPU workers each write a
+// private file, the segments are deactivated (pages written back,
+// frames freed), and every worker then scans its file sequentially
+// under the deterministic executor — a pure fault storm of stored
+// pages. New files spread round-robin across the packs, so pack count
+// divides the transfer load between device arms. The bottleneck
+// figure is the busier of the busiest processor account and the
+// busiest device account: the makespan of the overlapped pipeline,
+// since a faulter blocks on its pack's completion eventcount while
+// the other packs' elevators and the other processors keep running.
+// Every row is produced under the sim executor, so — like P14 — the
+// figures are named to feed the -compare gate, 1-CPU rows included.
+func p15() {
+	prev := lockrank.SetChecking(false)
+	defer lockrank.SetChecking(prev)
+	const schedSeed = 1977
+	fmt.Println("P15 disk pipeline fault storm (sequential scans; bottleneck = max of busiest CPU and busiest device):")
+	var rows []map[string]any
+	for _, nCPU := range []int{1, 2, 4} {
+		var onePack int64
+		for _, nPack := range []int{1, 2, 4} {
+			r := diskStorm(nCPU, nPack, schedSeed)
+			gain := ""
+			if nPack == 1 {
+				onePack = r.bottleneck
+			} else if r.bottleneck > 0 {
+				gain = fmt.Sprintf("  x%.2f vs 1 pack", float64(onePack)/float64(r.bottleneck))
+			}
+			hitRate := 0.0
+			if r.faults > 0 {
+				hitRate = float64(r.hits) / float64(r.faults)
+			}
+			fmt.Printf("    %d CPU %d pack: bottleneck %8d cyc (cpu %8d, device %8d)  read-ahead %3.0f%% of %d faults%s\n",
+				nCPU, nPack, r.bottleneck, r.cpu, r.device, 100*hitRate, r.faults, gain)
+			rows = append(rows, map[string]any{
+				"processors":            nCPU,
+				"packs":                 nPack,
+				"bottleneck_cycles":     r.bottleneck,
+				"busiest_cpu_cycles":    r.cpu,
+				"busiest_device_cycles": r.device,
+				"faults":                r.faults,
+				"prefetch_hits":         r.hits,
+				"readahead_hit_rate":    hitRate,
+			})
+		}
+	}
+	fmt.Println("    [spreading the storm's files over four packs beats one pack because the per-pack elevators run concurrently]")
+	record("P15 disk pipeline fault storm", map[string]any{"per_config": rows})
+}
+
+// A diskStormResult is one P15 configuration's scan-phase figures.
+type diskStormResult struct {
+	bottleneck, cpu, device int64
+	faults, hits            int64
+}
+
+// diskStorm runs one P15 configuration and returns the scan phase's
+// deltas: busiest processor account, busiest pack device account,
+// fault count and read-ahead hits.
+func diskStorm(nCPU, nPacks int, seed int64) diskStormResult {
+	const filePages = 24
+	k := bootKernel(func(c *core.Config) {
+		c.Processors = nCPU
+		c.Packs = nil
+		for i := 0; i < nPacks; i++ {
+			c.Packs = append(c.Packs, core.PackSpec{ID: fmt.Sprintf("dsk%c", 'a'+i), Records: 8192})
+		}
+		c.SpreadPacks = nPacks > 1
+		// Memory holds every file plus read-ahead slack: the storm
+		// measures the disk pipeline, not eviction thrash.
+		c.MemFrames = nCPU*filePages + 64
+		c.WiredFrames = 8
+	})
+	workers := stormWorkers(k, nCPU)
+	// Populate: each worker writes its file, then the segment is
+	// deactivated so every page lives only on its disk record.
+	for _, w := range workers {
+		for pg := 0; pg < filePages; pg++ {
+			check(k.Write(w.cpu, w.p, w.segno, pg*hw.PageWords, hw.Word(pg+1)))
+		}
+		e, err := w.p.KST().Entry(w.segno)
+		check(err)
+		check(k.Segs.Deactivate(e.UID))
+	}
+	// Snapshot the accounts so only the scan phase is measured.
+	cpu0 := make([]int64, nCPU)
+	for i := range cpu0 {
+		cpu0[i] = k.Meter.CPUCycles(i)
+	}
+	dev0 := make(map[string]int64)
+	for _, id := range k.Vols.Packs() {
+		p, err := k.Vols.Pack(id)
+		check(err)
+		dev0[id] = p.DeviceCycles()
+	}
+	st0 := k.Frames.Stats()
+
+	ex := schedsim.New(schedsim.Config{Name: "kernelbench-p15", Seed: seed})
+	for _, w := range workers {
+		w := w
+		ex.Go(fmt.Sprintf("cpu%d", w.cpu.ID), func() {
+			defer trace.BindCPU(w.cpu.ID)()
+			for pg := 0; pg < filePages; pg++ {
+				v, err := k.Read(w.cpu, w.p, w.segno, pg*hw.PageWords)
+				check(err)
+				if v != hw.Word(pg+1) {
+					check(fmt.Errorf("p15: page %d read back %d, want %d", pg, v, pg+1))
+				}
+			}
+		})
+	}
+	check(ex.Run())
+
+	var res diskStormResult
+	for i := 0; i < nCPU; i++ {
+		if c := k.Meter.CPUCycles(i) - cpu0[i]; c > res.cpu {
+			res.cpu = c
+		}
+	}
+	for _, id := range k.Vols.Packs() {
+		p, err := k.Vols.Pack(id)
+		check(err)
+		if c := p.DeviceCycles() - dev0[id]; c > res.device {
+			res.device = c
+		}
+	}
+	st := k.Frames.Stats()
+	res.faults = st.Faults - st0.Faults
+	res.hits = st.PrefetchHits - st0.PrefetchHits
+	res.bottleneck = res.cpu
+	if res.device > res.bottleneck {
+		res.bottleneck = res.device
+	}
+	return res
 }

@@ -46,10 +46,14 @@ const eventSample = 25
 // kindHelp documents the event kinds that deserve more than their
 // name; everything else is self-describing.
 var kindHelp = map[string]string{
-	"assoc-hit":   "translation served by the processor's associative memory (arg0 segno, arg1 page)",
-	"assoc-miss":  "translation walked the descriptor tables and filled the cache (arg0 segno, arg1 page)",
-	"assoc-clear": "associative entries invalidated (arg0: 0 page shootdown, 1 segment shootdown, 2 process switch; arg1 page/segno or -1; arg2 entries cleared)",
-	"write-error": "a grouped page write-back failed after retries and its evicted pages were lost (arg0 pages in the submission, arg1 first record address)",
+	"assoc-hit":      "translation served by the processor's associative memory (arg0 segno, arg1 page)",
+	"assoc-miss":     "translation walked the descriptor tables and filled the cache (arg0 segno, arg1 page)",
+	"assoc-clear":    "associative entries invalidated (arg0: 0 page shootdown, 1 segment shootdown, 2 process switch; arg1 page/segno or -1; arg2 entries cleared)",
+	"write-error":    "a grouped page write-back failed after retries and its evicted pages were lost (arg0 pages in the submission, arg1 first record address)",
+	"disk-queue":     "a transfer joined a pack's elevator queue (arg0 first record, arg1 queue depth at submission, arg2: 1 speculative read-ahead, 0 demand read or write batch)",
+	"prefetch-issue": "a speculative read for a predicted-next page was queued into the second-chance cache (arg0 record, arg1 page)",
+	"prefetch-hit":   "a demand fault claimed a prefetched frame and skipped its disk read (arg0 record, arg1 page)",
+	"prefetch-drop":  "a speculative entry was discarded unclaimed (arg0 record, arg1 page, arg2: 0 transfer fault, 1 stale identity, 2 second-chance steal)",
 }
 
 // kindNames lists every event kind the tracer can emit or filter on.

@@ -30,6 +30,7 @@ func main() {
 	users := flag.Int("users", 3, "simulated users")
 	files := flag.Int("files", 4, "files per user")
 	pages := flag.Int("pages", 6, "pages written per file")
+	packs := flag.Int("packs", 2, "mounted disk packs; more than one spreads new files round-robin so their faults ride separate device queues")
 	runAudit := flag.Bool("audit", true, "run the invariant audit after the workload")
 	schedSeed := flag.Int64("sched-seed", 0, "when nonzero, run a multiprocessor storm under the deterministic executor with this schedule seed; a failure prints the seed that replays it")
 	storm := flag.Bool("storm", false, "drive a login/timesharing storm of -users users through the answering service instead of the scripted file workload")
@@ -40,7 +41,12 @@ func main() {
 	cfg.WiredFrames = *wired
 	cfg.VProcs = *vprocs
 	cfg.RootQuota = 100000
-	cfg.Packs = []core.PackSpec{{ID: "dska", Records: 8192}, {ID: "dskb", Records: 8192}}
+	if *packs < 1 || *packs > 26 {
+		fmt.Fprintln(os.Stderr, "multicsim: -packs must be between 1 and 26")
+		os.Exit(2)
+	}
+	cfg.Packs = packSpecs(*packs, 8192)
+	cfg.SpreadPacks = *packs > 1
 	if *storm {
 		// Scale the machine to the storm: an active-segment entry and
 		// a resident state page per logged-in user.
@@ -49,7 +55,7 @@ func main() {
 		if need := *users + 512 + cfg.WiredFrames; cfg.MemFrames < need {
 			cfg.MemFrames = need
 		}
-		cfg.Packs = []core.PackSpec{{ID: "dska", Records: 16384}, {ID: "dskb", Records: 16384}}
+		cfg.Packs = packSpecs(*packs, 16384)
 	}
 	// Tracing on: the span layer attributes kernel cycles to the
 	// running process for the top-talkers table.
@@ -128,6 +134,15 @@ func main() {
 	halfBudget, exhausted := k.RetryStats()
 	fmt.Printf("    retry pressure:           %d references past half budget, %d exhausted\n", halfBudget, exhausted)
 	fmt.Printf("    translation cache:        %d hits, %d misses, %d shootdowns\n", st.AssocHits, st.AssocMisses, st.Shootdowns)
+	fmt.Printf("    read-ahead:               %d issued, %d hits, %d dropped, %d stolen\n",
+		st.PrefetchIssued, st.PrefetchHits, st.PrefetchDrops, st.PrefetchSteals)
+	for _, id := range k.Vols.Packs() {
+		if p, err := k.Vols.Pack(id); err == nil {
+			enq, depth := p.QueueStats()
+			fmt.Printf("    pack %-4s device:         %d cycles, %d queued requests, deepest queue %d\n",
+				id, p.DeviceCycles(), enq, depth)
+		}
+	}
 	if st.WriteBackErrors > 0 {
 		fmt.Printf("    write-back errors:        %d\n", st.WriteBackErrors)
 	}
@@ -275,6 +290,16 @@ func topTalkers(k *core.Kernel) {
 		pa := snap.Procs[pid]
 		fmt.Printf("    %-28s %10d cyc across %d spans\n", who, pa.Cycles, pa.Spans)
 	}
+}
+
+// packSpecs names n packs dska, dskb, ... each with the given record
+// capacity.
+func packSpecs(n, records int) []core.PackSpec {
+	specs := make([]core.PackSpec, n)
+	for i := range specs {
+		specs[i] = core.PackSpec{ID: fmt.Sprintf("dsk%c", 'a'+i), Records: records}
+	}
+	return specs
 }
 
 func fatal(what string, err error) {

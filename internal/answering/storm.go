@@ -2,6 +2,7 @@ package answering
 
 import (
 	"fmt"
+	"sync"
 
 	"multics/internal/aim"
 )
@@ -120,13 +121,26 @@ func (s *Service) RunStorm(cfg StormConfig, ops StormOps) (StormStats, error) {
 				}
 			}
 		}
+		// The quantum callback runs on every worker goroutine of a
+		// parallel executor, so the block bookkeeping takes a lock.
+		var blockMu sync.Mutex
 		var blockErr error
 		ran, err := ops.RunQuanta(cfg.QuantaPerRound, func(proc any) {
-			if toBlock[proc] {
+			blockMu.Lock()
+			mine := toBlock[proc]
+			if mine {
 				delete(toBlock, proc)
-				if err := ops.Block(proc); err != nil && blockErr == nil {
+			}
+			blockMu.Unlock()
+			if !mine {
+				return
+			}
+			if err := ops.Block(proc); err != nil {
+				blockMu.Lock()
+				if blockErr == nil {
 					blockErr = err
 				}
+				blockMu.Unlock()
 			}
 		})
 		st.Quanta += ran

@@ -1,0 +1,173 @@
+package core
+
+// Systematic sweep around the disk pipeline's yield points. The
+// device queue brackets every transfer with two marked decisions —
+// PointDiskQueue when a request joins a pack's elevator queue and
+// PointDisk when its transfer completes — and this sweep forces
+// preemptions there to race a completion against a second faulter on
+// the same record. The descriptor-lock hardware must let exactly one
+// processor service each missing page: the loser waits out the lock
+// bit and rereferences, it never queues a second read of the same
+// record into a second frame.
+
+import (
+	"fmt"
+	"testing"
+
+	"multics/internal/aim"
+	"multics/internal/hw"
+	"multics/internal/schedsim"
+	"multics/internal/trace"
+)
+
+// diskSweepStorm races two processors of one process through
+// sequential reads of the same freshly-deactivated file, so every
+// page is a demand read from disk and both tasks contend for every
+// record. It returns an error for any schedule that loses data,
+// double-loads a page, or unbalances the frame tables.
+func diskSweepStorm(strat schedsim.Strategy, pgs int) (*schedsim.Executor, *Kernel, error) {
+	cfg := DefaultConfig()
+	cfg.Processors = 2
+	cfg.MemFrames = 64 // roomy: any eviction here would muddy the fault count
+	cfg.WiredFrames = 8
+	cfg.RootQuota = 4096
+	k, err := Boot(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := k.CreateProcess("dsw.x", aim.Bottom)
+	if err != nil {
+		return nil, nil, err
+	}
+	k.Attach(k.CPUs[0], p)
+	k.Attach(k.CPUs[1], p)
+	if _, err := k.CreateFile(k.CPUs[0], p, nil, "shared", nil, aim.Bottom); err != nil {
+		return nil, nil, err
+	}
+	segno, err := k.OpenPath(k.CPUs[0], p, []string{"shared"})
+	if err != nil {
+		return nil, nil, err
+	}
+	for pg := 0; pg < pgs; pg++ {
+		if err := k.Write(k.CPUs[0], p, segno, pg*hw.PageWords, hw.Word(100+pg)); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Force every page out to its disk record: the next touch of any
+	// page is a demand read on the pack's device queue.
+	e, err := p.KST().Entry(segno)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := k.Segs.Deactivate(e.UID); err != nil {
+		return nil, nil, err
+	}
+	base := k.Frames.Stats()
+
+	ex := schedsim.New(schedsim.Config{Name: "disk-sweep", Strategy: strat})
+	for i := 0; i < 2; i++ {
+		cpu := k.CPUs[i]
+		ex.Go(fmt.Sprintf("fault%d", i), func() {
+			defer trace.BindCPU(cpu.ID)()
+			for pg := 0; pg < pgs; pg++ {
+				got, err := k.Read(cpu, p, segno, pg*hw.PageWords)
+				if err != nil {
+					panic(fmt.Sprintf("read page %d: %v", pg, err))
+				}
+				if got != hw.Word(100+pg) {
+					panic(fmt.Sprintf("page %d reads %d, want %d", pg, got, 100+pg))
+				}
+			}
+		})
+	}
+	if err := ex.Run(); err != nil {
+		return ex, k, err
+	}
+	st := k.Frames.Stats()
+	if d := st.Evictions - base.Evictions; d != 0 {
+		return ex, k, fmt.Errorf("unexpected evictions (%d) under a no-pressure configuration", d)
+	}
+	// The pin: pgs distinct pages went from stored to present, so
+	// exactly pgs fault services may have run. One more means a
+	// schedule slipped a second load of an already-serviced record
+	// past the descriptor lock.
+	if d := st.Faults - base.Faults; d != int64(pgs) {
+		return ex, k, fmt.Errorf("%d fault services for %d distinct pages: a completion raced a second faulter into a double load", d, pgs)
+	}
+	if leaks := k.Frames.Audit(); len(leaks) != 0 {
+		return ex, k, fmt.Errorf("frame audit: %v", leaks)
+	}
+	if err := simBalance(k); err != nil {
+		return ex, k, err
+	}
+	return ex, k, nil
+}
+
+// TestSweepDiskCompletionWindow systematically deviates at the device
+// queue's enqueue and completion decisions. Every completed schedule
+// must read correct data with exactly one fault service per page —
+// no double-loads — and the sweep must actually open disk-window
+// decisions and contend the descriptor lock, or it verified nothing.
+func TestSweepDiskCompletionWindow(t *testing.T) {
+	completed := 0
+	maxSched, maxPre := schedsim.EnvBudget(64, 2)
+	rep, err := schedsim.Sweep(schedsim.SweepConfig{
+		MaxSchedules:   maxSched,
+		MaxPreemptions: maxPre,
+		Window: func(d schedsim.Decision) bool {
+			return d.Point == schedsim.PointDiskQueue || d.Point == schedsim.PointDisk
+		},
+	}, func(strat schedsim.Strategy) (*schedsim.Executor, error) {
+		ex, _, err := diskSweepStorm(strat, 4)
+		if starved(err) {
+			return ex, nil
+		}
+		if err == nil {
+			completed++
+		}
+		return ex, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowDecisions == 0 {
+		t.Fatalf("sweep vacuous: no disk-queue or disk-completion decisions in %d schedules", rep.Schedules)
+	}
+	if completed == 0 {
+		t.Fatal("every schedule was starved: the sweep verified nothing")
+	}
+	t.Logf("%d schedules (%d completed), %d in-window decisions, truncated=%v",
+		rep.Schedules, completed, rep.WindowDecisions, rep.Truncated)
+}
+
+// TestSweepDiskWindowReplay is the determinism anchor for the disk
+// yield points: the same sticky-preemption schedule over the disk
+// storm takes the same decisions, step for step, both times.
+func TestSweepDiskWindowReplay(t *testing.T) {
+	run := func() []schedsim.Decision {
+		ex, _, err := diskSweepStorm(schedsim.Random(*schedSeed), 4)
+		if err != nil && !starved(err) {
+			t.Fatal(err)
+		}
+		return ex.Decisions()
+	}
+	d1, d2 := run(), run()
+	if len(d1) != len(d2) {
+		t.Fatalf("schedule lengths differ: %d vs %d decisions", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i].String() != d2[i].String() {
+			t.Fatalf("schedules diverge at step %d:\n%v\n%v", i, d1[i], d2[i])
+		}
+	}
+	saw := false
+	for _, d := range d1 {
+		if d.Point == schedsim.PointDiskQueue || d.Point == schedsim.PointDisk {
+			saw = true
+			break
+		}
+	}
+	if !saw {
+		t.Error("no disk-queue or disk-completion decisions in the replayed schedule: the pipeline's yield points are not marked")
+	}
+}

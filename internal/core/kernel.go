@@ -90,6 +90,12 @@ type Config struct {
 	// resident process state holds an entry, so a login storm scales
 	// this with its user count — and WiredFrames with it.
 	ASTPages int
+	// SpreadPacks places new files round-robin across the mounted
+	// packs instead of on the containing directory's pack, so
+	// independent files' faults ride different per-pack device
+	// queues and overlap. Directories stay clustered with their
+	// parents either way.
+	SpreadPacks bool
 	// AssocOff boots without per-processor associative memories:
 	// every reference then pays a full table walk, as the kernel ran
 	// before the cache. The default (false) fits each processor with
@@ -300,6 +306,7 @@ func Boot(cfg Config) (*Kernel, error) {
 		RootPack:  rootPack,
 		RootQuota: cfg.RootQuota,
 		Seed:      cfg.Seed,
+		Spread:    cfg.SpreadPacks,
 	})
 	if err != nil {
 		return nil, err

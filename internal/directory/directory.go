@@ -127,6 +127,8 @@ type Manager struct {
 	// Lang is the implementation language for the cost model.
 	Lang hw.Language
 
+	spread bool
+
 	mu       lockrank.Mutex
 	ids      idGen
 	root     *dirNode
@@ -149,6 +151,12 @@ type Config struct {
 	RootLabel aim.Label
 	// Seed makes identifier fabrication deterministic for tests.
 	Seed uint64
+	// Spread places new non-directory segments round-robin across
+	// the mounted packs instead of on the containing directory's
+	// pack, so independent files' faults land on different device
+	// arms. Directories stay with their parent: the hierarchy walks
+	// remain clustered.
+	Spread bool
 }
 
 // NewManager creates the directory manager and the root directory —
@@ -168,6 +176,7 @@ func NewManager(segs *segment.Manager, ksm *knownseg.Manager, cells *quota.Manag
 		signals:  signals,
 		meter:    meter,
 		Lang:     hw.PLI,
+		spread:   cfg.Spread,
 		ids:      idGen{secret: cfg.Seed ^ 0x6180},
 		byID:     make(map[Identifier]*Entry),
 		parentOf: make(map[Identifier]*dirNode),
@@ -391,6 +400,11 @@ func (m *Manager) Create(p Principal, plabel aim.Label, dirID Identifier, name s
 	}
 
 	uid := m.segs.NewUID()
+	if m.spread && !isDir {
+		if id := m.segs.SpreadPack(); id != "" {
+			dirPack = id
+		}
+	}
 	addr, err := m.segs.Create(dirPack, uid, isDir, inheritCellUID)
 	if err != nil {
 		return 0, err

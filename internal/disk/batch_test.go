@@ -6,7 +6,9 @@ import (
 	"multics/internal/hw"
 )
 
-// A grouped submission writes every record but pays the seek once.
+// A grouped submission writes every record and prices each
+// positioning movement by distance: an adjacent run transfers back to
+// back with no seek at all, so elevator-ordered batches are rewarded.
 func TestWriteRecordBatch(t *testing.T) {
 	meter := &hw.CostMeter{}
 	p := NewPack("dska", 8, meter)
@@ -26,8 +28,10 @@ func TestWriteRecordBatch(t *testing.T) {
 	if err := p.WriteRecordBatch(recs, bufs); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := meter.Cycles()-before, int64(hw.CycDiskSeek+3*hw.CycDiskRecord); got != want {
-		t.Errorf("batch of 3 cost %d cycles, want %d (one seek, three transfers)", got, want)
+	// Records 0,1,2 from a head parked at 0: three back-to-back
+	// transfers, no positioning.
+	if got, want := meter.Cycles()-before, int64(3*hw.CycDiskRecord); got != want {
+		t.Errorf("adjacent batch of 3 cost %d cycles, want %d (three back-to-back transfers)", got, want)
 	}
 	dst := make([]hw.Word, hw.PageWords)
 	for i, r := range recs {
@@ -37,6 +41,28 @@ func TestWriteRecordBatch(t *testing.T) {
 		if dst[0] != hw.Word(100+i) {
 			t.Errorf("record %d word 0 = %d, want %d", r, dst[0], 100+i)
 		}
+	}
+}
+
+// The two seek tiers: a hop within ShortSeekSpan records pays the
+// short tier, a hop beyond it the full average seek. A scattered
+// batch is therefore measurably dearer than the same records sorted.
+func TestWriteRecordBatchSeekTiers(t *testing.T) {
+	meter := &hw.CostMeter{}
+	p := NewPack("dska", 512, meter)
+	buf := make([]hw.Word, hw.PageWords)
+	// Park the head at record 2.
+	if err := p.WriteRecord(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	before := meter.Cycles()
+	// 2 -> 10 short, 10 -> 12 short, 12 -> 400 long.
+	if err := p.WriteRecordBatch([]RecordAddr{10, 12, 400}, [][]hw.Word{buf, buf, buf}); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2*hw.CycDiskSeekShort + hw.CycDiskSeek + 3*hw.CycDiskRecord)
+	if got := meter.Cycles() - before; got != want {
+		t.Errorf("tiered batch cost %d cycles, want %d (two short seeks, one long, three transfers)", got, want)
 	}
 }
 

@@ -148,6 +148,12 @@ type Pack struct {
 	sink    trace.Sink
 	spans   trace.SpanSink
 	faults  *FaultPlan
+	// head is the record the heads are positioned over after the last
+	// transfer; distance from it prices the next seek.
+	head RecordAddr
+
+	// dev is the pack's asynchronous request queue (queue.go).
+	dev device
 }
 
 // SetTrace routes this pack's record transfers to s (nil turns
@@ -349,6 +355,7 @@ func (p *Pack) ReadRecord(r RecordAddr, dst []hw.Word) error {
 		return err
 	}
 	p.meter.Add(hw.CycDiskSeek + hw.CycDiskRecord)
+	p.head = r
 	if p.sink != nil {
 		p.sink.Emit(trace.Event{Kind: trace.EvDiskRead, Module: ModuleName, Cost: hw.CycDiskSeek + hw.CycDiskRecord, Arg0: int64(r)})
 	}
@@ -384,6 +391,7 @@ func (p *Pack) WriteRecord(r RecordAddr, src []hw.Word) error {
 	}
 	p.dirty = true
 	p.meter.Add(hw.CycDiskSeek + hw.CycDiskRecord)
+	p.head = r
 	if p.sink != nil {
 		p.sink.Emit(trace.Event{Kind: trace.EvDiskWrite, Module: ModuleName, Cost: hw.CycDiskSeek + hw.CycDiskRecord, Arg0: int64(r)})
 	}
@@ -396,14 +404,16 @@ func (p *Pack) WriteRecord(r RecordAddr, src []hw.Word) error {
 	return nil
 }
 
-// WriteRecordBatch stores several records in one positioning
-// operation: the pack seeks once and transfers the records back to
-// back, so a grouped eviction costs one CycDiskSeek plus one
-// CycDiskRecord per record instead of a seek per record. Each record
-// passes the same fault-plane check as an individual WriteRecord, in
-// order, so crash-point sweeps observe the same mutation sequence; on
-// an injected fault the earlier records of the batch are already on
-// the pack, exactly as if they had been written singly.
+// WriteRecordBatch stores several records in one submission, pricing
+// each positioning movement by distance: adjacent records transfer
+// back to back for free, short hops within ShortSeekSpan records pay
+// the CycDiskSeekShort tier, and long hops pay the full CycDiskSeek —
+// so a sorted (elevator-ordered) batch is measurably cheaper than the
+// same records scattered. Each record passes the same fault-plane
+// check as an individual WriteRecord, in order, so crash-point sweeps
+// observe the same mutation sequence; on an injected fault the
+// earlier records of the batch are already on the pack, exactly as if
+// they had been written singly.
 func (p *Pack) WriteRecordBatch(recs []RecordAddr, bufs [][]hw.Word) error {
 	schedsim.Yield(schedsim.PointDisk, "write-batch")
 	p.mu.Lock()
@@ -432,11 +442,9 @@ func (p *Pack) WriteRecordBatch(recs []RecordAddr, bufs [][]hw.Word) error {
 			return err
 		}
 		p.dirty = true
-		cost := int64(hw.CycDiskRecord)
-		if i == 0 {
-			cost += hw.CycDiskSeek
-		}
+		cost := seekDelta(p.head, r) + hw.CycDiskRecord
 		p.meter.Add(cost)
+		p.head = r
 		if p.sink != nil {
 			p.sink.Emit(trace.Event{Kind: trace.EvDiskWrite, Module: ModuleName, Cost: cost, Arg0: int64(r)})
 		}

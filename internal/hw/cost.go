@@ -40,10 +40,18 @@ const (
 	// through the virtual memory (the expensive, top-level half of
 	// the two-level process implementation).
 	CycProcessSwap = 400
-	// CycDiskSeek is positioning a disk pack before a transfer.
+	// CycDiskSeek is positioning a disk pack before a transfer: the
+	// full average-distance seek an isolated transfer pays.
 	CycDiskSeek = 1000
+	// CycDiskSeekShort is a short positioning movement between nearby
+	// records, the cost tier elevator-ordered transfers earn: grouped
+	// requests pay this instead of the full CycDiskSeek.
+	CycDiskSeekShort = 250
 	// CycDiskRecord is transferring one 1024-word record.
 	CycDiskRecord = 2000
+	// CycDiskQueue is enqueuing one request on a pack's device queue:
+	// the submitter-side bookkeeping of the asynchronous pipeline.
+	CycDiskQueue = 10
 	// CycLockWait is one spin on a held global lock (baseline page
 	// control) or locked descriptor (kernel design).
 	CycLockWait = 5
@@ -102,6 +110,19 @@ func (m *CostMeter) Add(n int64) {
 		if c := trace.BoundCPU(); c > 0 {
 			m.percpu[int(c-1)%MeterCPUs].Add(n)
 		}
+	}
+}
+
+// AddUnbound accrues n simulated cycles to the global total only,
+// never to a processor's account: work a device performs on its own
+// engine (a disk pack positioning its heads and transferring records
+// from its queue) rather than work done by whichever processor happens
+// to run the device service loop. Keeping it off the per-processor
+// accounts is what lets a makespan be modeled as the busier of the
+// busiest processor and the busiest device.
+func (m *CostMeter) AddUnbound(n int64) {
+	if m != nil {
+		m.cycles.Add(n)
 	}
 }
 

@@ -42,11 +42,15 @@ func TestBatchEvictionGroupsWriteBack(t *testing.T) {
 	if len(ev) != frames {
 		t.Fatalf("evicted %d pages, want the whole batch of %d: %v", len(ev), frames, ev)
 	}
-	// One fault body, one grouped write-back (single seek for all
-	// dirty victims), one record read for the loaded page.
+	// One fault body, one grouped write-back — the victims sort into
+	// ascending elevator order, so from the head parked at the last
+	// allocated record the batch pays one short seek and then streams
+	// back to back — and one demand read of the record adjacent to the
+	// batch's end (no positioning at all). Each of the two device
+	// submissions pays the queue bookkeeping charge.
 	want := hw.BodyCycles(bodyFaultService, hw.PLI) +
-		(hw.CycDiskSeek + frames*hw.CycDiskRecord) +
-		(hw.CycDiskSeek + hw.CycDiskRecord)
+		(hw.CycDiskQueue + hw.CycDiskSeekShort + frames*hw.CycDiskRecord) +
+		(hw.CycDiskQueue + hw.CycDiskRecord)
 	if got := f.meter.Cycles() - before; got != want {
 		t.Errorf("batch eviction fault cost %d cycles, want %d", got, want)
 	}

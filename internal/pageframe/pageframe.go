@@ -40,6 +40,7 @@ package pageframe
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"multics/internal/disk"
@@ -96,6 +97,12 @@ type PageReq struct {
 	// the map pointing at a freed record. The caller must call Unlock
 	// with the same request once its bookkeeping is consistent.
 	KeepLocked bool
+	// ReadAhead names the stored pages the caller predicts will fault
+	// next (a detected sequential pattern). LoadPage queues their
+	// reads speculatively on the pack's elevator and parks the frames
+	// in the second-chance cache; speculation failures never fail the
+	// demand fault.
+	ReadAhead []ReadAheadPage
 }
 
 // An Evicted report describes one page the manager removed from
@@ -173,6 +180,14 @@ type Manager struct {
 	clock   int
 	unlocks map[descKey]*eventcount.Eventcount
 
+	// The speculative read-ahead cache (see prefetch.go): cached
+	// indexes prefetched-but-unclaimed frames by descriptor, cacheRing
+	// is the same entries in Clock order, and cacheHand is the
+	// second-chance hand's position in the ring.
+	cached    map[descKey]*cachedFrame
+	cacheRing []*cachedFrame
+	cacheHand int
+
 	// caches[i] belongs to the goroutine bound to simulated
 	// processor i-1; slot 0 serves unbound callers. The lock order
 	// is m.mu before any cache mutex; the fast path takes only the
@@ -181,6 +196,9 @@ type Manager struct {
 
 	faults, evictions, zeroEvictions, writeErrors int64
 	zeroRescues                                   int64
+
+	prefetchIssued, prefetchHits  int64
+	prefetchDrops, prefetchSteals int64
 }
 
 // SetTrace routes page fetch/evict and lock-wait events to s, and
@@ -230,6 +248,7 @@ func NewManager(mem *hw.Memory, firstFrame int, vps *vproc.Manager, meter *hw.Co
 		first:   firstFrame,
 		frames:  make([]frameInfo, mem.Frames()-firstFrame),
 		unlocks: make(map[descKey]*eventcount.Eventcount),
+		cached:  make(map[descKey]*cachedFrame),
 		Lang:    hw.PLI,
 	}
 	m.mu.Init(ModuleName)
@@ -286,6 +305,15 @@ type Stats struct {
 	// sweeps assert this counter to prove the PR-4 window was
 	// actually entered, not vacuously passed.
 	ZeroRescues int64
+	// The read-ahead pipeline's counters: speculative reads queued,
+	// demand faults served from the speculative cache, entries
+	// discarded unclaimed (speculative transfer faults and stale
+	// pages), and frames the second-chance clock took back for demand
+	// allocation.
+	PrefetchIssued int64
+	PrefetchHits   int64
+	PrefetchDrops  int64
+	PrefetchSteals int64
 }
 
 // Stats reports the manager's counters.
@@ -294,7 +322,9 @@ func (m *Manager) Stats() Stats {
 	st := Stats{
 		Faults: m.faults, Evictions: m.evictions,
 		ZeroEvictions: m.zeroEvictions, WriteBackErrors: m.writeErrors,
-		ZeroRescues: m.zeroRescues,
+		ZeroRescues:    m.zeroRescues,
+		PrefetchIssued: m.prefetchIssued, PrefetchHits: m.prefetchHits,
+		PrefetchDrops: m.prefetchDrops, PrefetchSteals: m.prefetchSteals,
 	}
 	m.mu.Unlock()
 	if m.AssocStats != nil {
@@ -330,28 +360,46 @@ func (m *Manager) LoadPage(req PageReq) ([]Evicted, error) {
 		return nil, nil
 	}
 
-	frame, ev, err := m.obtainFrame()
-	if err != nil {
-		return ev, err
-	}
+	frame := -1
+	var ev []Evicted
 	if req.HasRecord {
-		buf := make([]hw.Word, hw.PageWords)
-		if err := disk.Retry(m.meter, func() error {
-			return req.Pack.ReadRecord(req.Record, buf)
-		}); err != nil {
-			m.releaseFrame(frame)
-			return ev, fmt.Errorf("pageframe: fetching page %d of segment %d: %w", req.Page, req.UID, err)
-		}
-		if err := m.mem.WriteFrame(frame, buf); err != nil {
-			m.releaseFrame(frame)
-			return ev, err
-		}
-	} else {
-		if err := m.mem.ZeroFrame(frame); err != nil {
-			m.releaseFrame(frame)
-			return ev, err
+		if f, ok := m.claimPrefetch(req); ok {
+			frame = f
 		}
 	}
+	if frame < 0 {
+		var err error
+		frame, ev, err = m.obtainFrame()
+		if err != nil {
+			return ev, err
+		}
+		if req.HasRecord {
+			buf := make([]hw.Word, hw.PageWords)
+			// The demand read rides the pack's device queue: the faulter
+			// drives the elevator itself when the seat is free and blocks
+			// on the completion eventcount when another faulter holds it.
+			if err := disk.Retry(m.meter, func() error {
+				return req.Pack.QueueRead(req.Record, buf)
+			}); err != nil {
+				m.releaseFrame(frame)
+				return ev, fmt.Errorf("pageframe: fetching page %d of segment %d: %w", req.Page, req.UID, err)
+			}
+			if err := m.mem.WriteFrame(frame, buf); err != nil {
+				m.releaseFrame(frame)
+				return ev, err
+			}
+		} else {
+			if err := m.mem.ZeroFrame(frame); err != nil {
+				m.releaseFrame(frame)
+				return ev, err
+			}
+		}
+	}
+	// With this fault's contents secured, speculate on the
+	// predicted-next pages: their reads join the same elevator queue
+	// and wait in the second-chance cache for the following faults of
+	// the sequence.
+	m.issueReadAhead(req)
 	m.mu.Lock()
 	m.frames[frame-m.first] = frameInfo{
 		inUse: true, uid: req.UID, page: req.Page, pt: req.PT,
@@ -597,6 +645,16 @@ func (m *Manager) obtainFrame() (int, []Evicted, error) {
 		}
 		return grabbed[take-1], nil, nil
 	}
+	// Nothing on the free side: before running the eviction clock over
+	// resident pages, consult the speculative cache's second-chance
+	// bits — an unclaimed prefetch frame is cheaper to take back than a
+	// resident page is to evict and write back.
+	if cf := m.stealCachedLocked(); cf != nil {
+		m.mu.Unlock()
+		cf.ticket.Cancel()
+		m.noteDrop(cf, dropSteal)
+		return cf.frame, nil, nil
+	}
 	// Nothing free anywhere: gather up to a batch of victims in one
 	// pass over the clock.
 	var victims []victim
@@ -825,8 +883,11 @@ func (m *Manager) noteWriteError(pages int, first disk.RecordAddr) {
 	})
 }
 
-// flushWrites submits the gathered dirty pages, one batched write per
-// pack in first-seen order.
+// flushWrites submits the gathered dirty pages, one queued batch per
+// pack in first-seen order. Each pack's records are sorted into
+// ascending elevator order first, so the device pays the short-seek
+// tier between neighbors instead of the full average seek the
+// eviction clock's arbitrary order would cost.
 func (m *Manager) flushWrites(dirty []pendingWrite) error {
 	var packs []*disk.Pack
 	byPack := make(map[*disk.Pack]int)
@@ -837,16 +898,21 @@ func (m *Manager) flushWrites(dirty []pendingWrite) error {
 		}
 	}
 	for _, pack := range packs {
-		var recs []disk.RecordAddr
-		var bufs [][]hw.Word
+		var group []pendingWrite
 		for _, w := range dirty {
 			if w.pack == pack {
-				recs = append(recs, w.rec)
-				bufs = append(bufs, w.buf)
+				group = append(group, w)
 			}
 		}
+		sort.Slice(group, func(i, j int) bool { return group[i].rec < group[j].rec })
+		recs := make([]disk.RecordAddr, len(group))
+		bufs := make([][]hw.Word, len(group))
+		for i, w := range group {
+			recs[i] = w.rec
+			bufs[i] = w.buf
+		}
 		if err := disk.Retry(m.meter, func() error {
-			return pack.WriteRecordBatch(recs, bufs)
+			return pack.QueueWriteBatch(recs, bufs)
 		}); err != nil {
 			return err
 		}
@@ -887,6 +953,10 @@ func (m *Manager) recoverVictims(victims []victim, disconnected int) {
 // contents back (or freeing records for zero pages), and returns the
 // reports. The segment manager calls it on deactivation.
 func (m *Manager) ReleaseSegment(pt *hw.PageTable) ([]Evicted, error) {
+	// Withdraw outstanding speculations first: a deactivated segment's
+	// records may be freed and reused, and a parked prefetch must not
+	// outlive the file map that named it.
+	m.purgeCached(pt, 0, true)
 	var out []Evicted
 	for {
 		m.mu.Lock()
@@ -996,6 +1066,35 @@ func (m *Manager) Audit() []string {
 			}
 		}
 	}
+	// The speculative read-ahead cache is the partition's third class:
+	// every prefetched-but-unclaimed frame must appear in the ring
+	// exactly once, agree with the map index, and never double as free
+	// or in-use; an entry still carrying its reference bit must be
+	// connected to a queued read.
+	if len(m.cached) != len(m.cacheRing) {
+		bad = append(bad, fmt.Sprintf("prefetch cache map holds %d entries but the ring holds %d", len(m.cached), len(m.cacheRing)))
+	}
+	for _, cf := range m.cacheRing {
+		frame := cf.frame
+		if frame < m.first || frame >= m.first+len(m.frames) {
+			bad = append(bad, fmt.Sprintf("cached frame %d outside pageable range", frame))
+			continue
+		}
+		if prev, dup := seen[frame]; dup {
+			bad = append(bad, fmt.Sprintf("frame %d both cached and %s", frame, prev))
+			continue
+		}
+		seen[frame] = "cached"
+		if m.frames[frame-m.first].inUse {
+			bad = append(bad, fmt.Sprintf("frame %d both cached and in use", frame))
+		}
+		if got := m.cached[descKey{cf.pt, cf.page}]; got != cf {
+			bad = append(bad, fmt.Sprintf("cached frame %d (page %d of segment %d) not indexed by the cache map", frame, cf.page, cf.uid))
+		}
+		if cf.ref && cf.ticket == nil {
+			bad = append(bad, fmt.Sprintf("cached frame %d carries the reference bit but no queued read", frame))
+		}
+	}
 	for i, fi := range m.frames {
 		frame := m.first + i
 		if !fi.inUse {
@@ -1025,6 +1124,10 @@ func (m *Manager) Audit() []string {
 // only after the descriptor is cleared and the shootdown broadcast has
 // retired every cached translation of it.
 func (m *Manager) DropPage(pt *hw.PageTable, page int) {
+	// A truncated page's speculation is withdrawn whether or not the
+	// page is resident: its record goes back to the pack's free pool
+	// and may be reallocated immediately.
+	m.purgeCached(pt, page, false)
 	m.mu.Lock()
 	found := -1
 	for i := range m.frames {

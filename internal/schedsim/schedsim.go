@@ -75,13 +75,17 @@ const (
 	PointYield
 	// PointDone is the decision taken when a task finishes.
 	PointDone
+	// PointDiskQueue is the decision when a request joins a pack's
+	// device queue; with PointDisk completions it brackets the
+	// submission/completion races of the asynchronous disk pipeline.
+	PointDiskQueue
 
 	numPoints
 )
 
 var pointNames = [numPoints]string{
 	"start", "lock", "block", "shootdown", "publish",
-	"disk", "quantum", "mark", "yield", "done",
+	"disk", "quantum", "mark", "yield", "done", "disk-queue",
 }
 
 func (p Point) String() string {

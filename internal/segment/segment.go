@@ -99,6 +99,12 @@ type ASTE struct {
 	slot    int
 	mapLen  int
 	conns   []Conn
+	// lastFault remembers the previous missing-page fault's page
+	// number (protected by the manager lock): a fault on the very
+	// next page is a sequential pattern and opens the read-ahead
+	// window. Initialized to -2 so page 0 alone never looks
+	// sequential.
+	lastFault int
 }
 
 // UID returns the segment's unique identifier.
@@ -144,6 +150,32 @@ type Manager struct {
 	byUID   map[uint64]*ASTE
 	slots   []bool
 	nextUID uint64
+	// spreadNext is the round-robin position of SpreadPack's
+	// rotation over the mounted packs.
+	spreadNext int
+}
+
+// ReadAheadWindow is how many stored pages beyond a sequential fault
+// the segment manager names for speculative reading. The window stops
+// early at the first non-stored page: zero and never-used pages take
+// the quota path, not the disk.
+const ReadAheadWindow = 4
+
+// SpreadPack returns the next pack of a round-robin rotation over the
+// mounted packs. Multi-pack configurations use it to place new files:
+// Volumes.Emptiest breaks its ties lexicographically, so a burst of
+// empty files would otherwise all land on the first pack and their
+// faults would serialize behind one device arm.
+func (m *Manager) SpreadPack() string {
+	ids := m.vols.Packs()
+	if len(ids) == 0 {
+		return ""
+	}
+	m.mu.Lock()
+	id := ids[m.spreadNext%len(ids)]
+	m.spreadNext++
+	m.mu.Unlock()
+	return id
 }
 
 // NewManager returns a segment manager whose active segment table
@@ -265,7 +297,7 @@ func (m *Manager) Activate(uid uint64, addr disk.SegAddr, cell quota.CellName, h
 			_ = pt.Set(i, hw.PTW{QuotaTrap: true})
 		}
 	}
-	a := &ASTE{uid: uid, addr: addr, pt: pt, cell: cell, hasCell: hasCell, dir: e.Dir, slot: slot, mapLen: len(e.Map)}
+	a := &ASTE{uid: uid, addr: addr, pt: pt, cell: cell, hasCell: hasCell, dir: e.Dir, slot: slot, mapLen: len(e.Map), lastFault: -2}
 	m.slots[slot] = true
 	m.byUID[uid] = a
 	_ = m.ast.Write(slot*ASTEWords, hw.Word(uid).Masked())
@@ -384,10 +416,28 @@ func (m *Manager) ServiceMissingPage(uid uint64, page, notifySeg, notifyPage int
 	if fm.State != disk.PageStored {
 		return fmt.Errorf("segment: page %d of %d is %v, not stored; growth must take the quota path", page, uid, fm.State)
 	}
+	// A fault on the page right after this segment's previous fault
+	// is a sequential pattern: name the next stored pages (up to the
+	// window, stopping at the first hole) for speculative reads on
+	// the pack's elevator queue.
+	m.mu.Lock()
+	seq := a.lastFault == page-1
+	a.lastFault = page
+	m.mu.Unlock()
+	var ahead []pageframe.ReadAheadPage
+	if seq {
+		for next := page + 1; next <= page+ReadAheadWindow && next < len(e.Map); next++ {
+			if e.Map[next].State != disk.PageStored {
+				break
+			}
+			ahead = append(ahead, pageframe.ReadAheadPage{Page: next, Record: e.Map[next].Record})
+		}
+	}
 	ev, err := m.frames.LoadPage(pageframe.PageReq{
 		UID: uid, PT: a.pt, Page: page,
 		Pack: pack, Record: fm.Record, HasRecord: true,
 		NotifySeg: notifySeg, NotifyPage: notifyPage,
+		ReadAhead: ahead,
 	})
 	if err2 := m.applyEvictions(ev); err2 != nil && err == nil {
 		err = err2

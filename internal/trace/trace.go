@@ -131,9 +131,26 @@ const (
 	// (Arg0 the donor process id, Arg1 the holder process id, Arg2
 	// the holder's new effective priority).
 	EvSchedDonate
+	// EvDiskQueue: a request joined a pack's device queue (Arg0 the
+	// request's first record address, Arg1 the queue depth after the
+	// enqueue, Arg2 1 for a speculative read-ahead request).
+	EvDiskQueue
+	// EvPrefetchIssue: the page frame manager queued a speculative
+	// read of a predicted-next page (Arg0 the record address, Arg1
+	// the page number).
+	EvPrefetchIssue
+	// EvPrefetchHit: a demand fault was satisfied from the speculative
+	// read-ahead cache without a demand disk read (Arg0 the record
+	// address, Arg1 the page number).
+	EvPrefetchHit
+	// EvPrefetchDrop: a speculative entry was discarded unclaimed
+	// (Arg0 the record address, Arg1 the page number, Arg2 the class:
+	// 0 the speculative transfer faulted, 1 the entry went stale, 2
+	// the frame was stolen back by the second-chance clock).
+	EvPrefetchDrop
 
 	// NumKinds is the size of per-kind counter arrays.
-	NumKinds = int(EvSchedDonate) + 1
+	NumKinds = int(EvPrefetchDrop) + 1
 )
 
 var kindNames = [NumKinds]string{
@@ -142,7 +159,8 @@ var kindNames = [NumKinds]string{
 	"quota-check", "signal-raise", "signal-handle", "await", "advance",
 	"fault-injected", "salvage-repair", "assoc-hit", "assoc-miss",
 	"assoc-clear", "write-error", "retry-pressure", "sched-steal",
-	"sched-migrate", "sched-donate",
+	"sched-migrate", "sched-donate", "disk-queue", "prefetch-issue",
+	"prefetch-hit", "prefetch-drop",
 }
 
 func (k Kind) String() string {

@@ -50,6 +50,43 @@ var traceWorkloads = []struct {
 		},
 	},
 	{
+		// A sequential scan of a freshly-deactivated file: the disk
+		// pipeline's queue/issue/hit events, the elevator's seek-cost
+		// attribution, and the second-chance cache's bookkeeping must
+		// replay byte-identically — with read-ahead actually firing,
+		// or the workload exercises nothing.
+		name: "sequential-readahead",
+		cfg:  func(c *Config) { c.MemFrames = 64; c.WiredFrames = 8 },
+		run: func(t *testing.T, k *Kernel) {
+			cpu, p := traceProcess(t, k)
+			segno := traceFile(t, k, p, nil, "scan")
+			for i := 0; i < 24; i++ {
+				if err := k.Write(cpu, p, segno, i*hw.PageWords, hw.Word(i+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e, err := p.KST().Entry(segno)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Segs.Deactivate(e.UID); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 24; i++ {
+				got, err := k.Read(cpu, p, segno, i*hw.PageWords)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != hw.Word(i+1) {
+					t.Fatalf("page %d reads %d, want %d", i, got, i+1)
+				}
+			}
+			if st := k.Frames.Stats(); st.PrefetchHits == 0 {
+				t.Fatal("sequential scan produced no read-ahead hits")
+			}
+		},
+	},
+	{
 		name: "directory-tree-walks",
 		run: func(t *testing.T, k *Kernel) {
 			cpu, p := traceProcess(t, k)
