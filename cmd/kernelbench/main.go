@@ -17,6 +17,7 @@
 //	P13 fault-service latency            (span p50/p99/max, 1/2/4 CPUs)
 //	P14 deterministic parallel storm     (sim executor; gated SMP cycles)
 //	P15 disk pipeline fault storm        (1/2/4 CPUs x 1/2/4 packs; gated)
+//	P16 connection storm                 (10k/100k/1M lines; O(1) cyc/conn)
 //
 // Every comparison is also written machine-readable to the path named
 // by -json (default BENCH_kernel.json; empty disables). With
@@ -34,12 +35,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"multics/internal/aim"
 	"multics/internal/answering"
 	"multics/internal/baseline"
 	"multics/internal/core"
 	"multics/internal/directory"
+	"multics/internal/fnp"
 	"multics/internal/hw"
 	"multics/internal/linker"
 	"multics/internal/lockrank"
@@ -84,6 +87,7 @@ func main() {
 	p13()
 	p14()
 	p15()
+	p16()
 	if *jsonPath != "" {
 		out, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
 		check(err)
@@ -1056,4 +1060,169 @@ func diskStorm(nCPU, nPacks int, seed int64) diskStormResult {
 		res.bottleneck = res.device
 	}
 	return res
+}
+
+// p16 scales the front-end connection plane: one terminal frame per
+// connection storms through the generic demultiplexer into the
+// sharded connection table at 10k, 100k and a million lines, on 1, 2
+// and 4 processors. The figure of merit is cycles per connection —
+// demux, protocol body, routing into the ring, and the returned
+// credit are each O(1), so the figure holds flat across two orders of
+// magnitude of table growth. Delivery latency (enqueue to pop, in
+// simulated cycles) comes from the plane's log2 histogram. A small
+// subset of lines runs the real dialog — login frames through the
+// answering service — and every row re-proves isolation: a line
+// flooded past its credit window drops its own frames while a
+// neighbor on the same shard loses nothing. The 1-processor rows are
+// single-goroutine and deterministic; their figures feed the -compare
+// gate, while the multiprocessor rows carry _smp keys the gate skips.
+func p16() {
+	prev := lockrank.SetChecking(false)
+	defer lockrank.SetChecking(prev)
+	fmt.Println("P16 connection storm (front-end processor: sharded table, credit flow control, eventcount delivery):")
+	var rows []map[string]any
+	for _, conns := range []int{10_000, 100_000, 1_000_000} {
+		for _, nCPU := range []int{1, 2, 4} {
+			rows = append(rows, connStorm(conns, nCPU))
+		}
+	}
+	fmt.Println("    [cycles per connection hold flat from 10k to 1M lines, and a slow line's drops land on it alone]")
+	record("P16 connection storm", map[string]any{"per_config": rows})
+}
+
+// connStorm runs one P16 configuration and returns its report row.
+func connStorm(conns, nCPU int) map[string]any {
+	const loginUsers = 32
+	k := bootKernel(func(c *core.Config) {
+		c.Processors = nCPU
+		c.ASTPages = (loginUsers+256)/128 + 2
+		c.WiredFrames = c.ASTPages + 6
+		c.MemFrames = loginUsers + 256 + c.WiredFrames
+	})
+	node, err := k.AttachFNP(conns, 0)
+	check(err)
+	terms := node.Terminals
+
+	// The dialog subset: real logins arrive as terminal frames and run
+	// the answering service's full admission path.
+	svc := answering.New(answering.Split, k.Meter, func(principal string, label aim.Label) (any, error) {
+		return k.CreateProcess(principal, label)
+	})
+	connector := answering.NewConnector(svc, func(proc any) error {
+		return k.Procs.Destroy(proc.(*uproc.Process))
+	})
+	for i := 0; i < loginUsers; i++ {
+		check(svc.Register(answering.StormPrincipal(i), "storm-pw", aim.Top))
+	}
+	for i := 0; i < loginUsers; i++ {
+		line := append(answering.EncodeLine("login "+answering.StormPrincipal(i)+" storm-pw"), 0o777)
+		check(node.Mux.Deliver(k.CPUs[0], "front-end", netmux.Frame{Channel: i, Payload: line}))
+	}
+	for sh := 0; sh < terms.Shards(); sh++ {
+		terms.Drain(sh, func(d fnp.Delivery) { check(connector.HandleFrame(d.Conn, d.Data)) })
+	}
+	if got := connector.Stats().Logins; got != loginUsers {
+		check(fmt.Errorf("p16: %d logins, want %d", got, loginUsers))
+	}
+
+	// The storm: one frame per connection. Single-processor rows
+	// deliver and drain in fixed batches on one goroutine, so the
+	// figures are deterministic; multiprocessor rows run one producer
+	// per processor against a read-drain-await consumer per shard.
+	start := k.Meter.Snapshot()
+	payload := []hw.Word{0o101, 0o777}
+	if nCPU == 1 {
+		const batch = 8192
+		cpu := k.CPUs[0]
+		for lo := 0; lo < conns; lo += batch {
+			hi := lo + batch
+			if hi > conns {
+				hi = conns
+			}
+			for id := lo; id < hi; id++ {
+				check(node.Mux.Deliver(cpu, "front-end", netmux.Frame{Channel: id, Payload: payload}))
+			}
+			for sh := 0; sh < terms.Shards(); sh++ {
+				terms.Drain(sh, nil)
+			}
+		}
+	} else {
+		var producers, consumers sync.WaitGroup
+		var done atomic.Bool
+		for sh := 0; sh < terms.Shards(); sh++ {
+			sh := sh
+			consumers.Add(1)
+			go func() {
+				defer consumers.Done()
+				ec := terms.DeliveryEC(sh)
+				for {
+					seen := ec.Read()
+					if terms.Drain(sh, nil) > 0 {
+						continue
+					}
+					if done.Load() {
+						return
+					}
+					ec.Await(seen + 1)
+				}
+			}()
+		}
+		per := (conns + nCPU - 1) / nCPU
+		for w := 0; w < nCPU; w++ {
+			lo, hi := w*per, (w+1)*per
+			if hi > conns {
+				hi = conns
+			}
+			cpu := k.CPUs[w]
+			producers.Add(1)
+			go func(lo, hi int, cpu *hw.Processor) {
+				defer producers.Done()
+				for id := lo; id < hi; id++ {
+					check(node.Mux.Deliver(cpu, "front-end", netmux.Frame{Channel: id, Payload: payload}))
+				}
+			}(lo, hi, cpu)
+		}
+		producers.Wait()
+		done.Store(true)
+		for sh := 0; sh < terms.Shards(); sh++ {
+			terms.DeliveryEC(sh).Advance()
+		}
+		consumers.Wait()
+	}
+	perConn := k.Meter.Since(start) / int64(conns)
+	p50, p99 := terms.LatencyPercentile(50), terms.LatencyPercentile(99)
+
+	// Isolation: flood one line past its credit window without
+	// returning credits; its frames drop, counted on it alone, while a
+	// neighbor on the same shard keeps its full window.
+	slow := loginUsers + 1
+	healthy := slow + terms.Shards()
+	for i := 0; i < fnp.RingSlots+2; i++ {
+		check(node.Mux.Deliver(k.CPUs[0], "front-end", netmux.Frame{Channel: slow, Payload: payload}))
+	}
+	check(node.Mux.Deliver(k.CPUs[0], "front-end", netmux.Frame{Channel: healthy, Payload: payload}))
+	slowSt, healthySt := terms.ConnStats(slow), terms.ConnStats(healthy)
+	if slowSt.Drops == 0 || healthySt.Drops != 0 {
+		check(fmt.Errorf("p16: isolation broken: slow line dropped %d, healthy neighbor %d", slowSt.Drops, healthySt.Drops))
+	}
+	st := terms.Stats()
+	fmt.Printf("    %7d conns %d cpu: %4d cyc/conn, delivery p50 %7d p99 %7d cyc, %7d frames, slow-line drops %d, healthy neighbor %d\n",
+		conns, nCPU, perConn, p50, p99, st.Frames, slowSt.Drops, healthySt.Drops)
+	row := map[string]any{
+		"connections": conns, "processors": nCPU,
+		"frames": st.Frames, "delivered": st.Delivered,
+		"logins":          loginUsers,
+		"slow_conn_drops": slowSt.Drops, "healthy_conn_drops": healthySt.Drops,
+		"mux_dropped": node.Mux.MuxStats().Dropped,
+	}
+	if nCPU == 1 {
+		row["cycles_per_connection"] = perConn
+		row["delivery_p50_cycles"] = p50
+		row["delivery_p99_cycles"] = p99
+	} else {
+		row["cycles_per_connection_smp"] = perConn
+		row["delivery_p50_cycles_smp"] = p50
+		row["delivery_p99_cycles_smp"] = p99
+	}
+	return row
 }

@@ -54,6 +54,10 @@ var kindHelp = map[string]string{
 	"prefetch-issue": "a speculative read for a predicted-next page was queued into the second-chance cache (arg0 record, arg1 page)",
 	"prefetch-hit":   "a demand fault claimed a prefetched frame and skipped its disk read (arg0 record, arg1 page)",
 	"prefetch-drop":  "a speculative entry was discarded unclaimed (arg0 record, arg1 page, arg2: 0 transfer fault, 1 stale identity, 2 second-chance steal)",
+	"net-frame":      "a frame cleared the demultiplexer or landed in a connection's ring (arg0 channel/connection, arg1 payload words, arg2: 1 handed straight to a subscriber, 0 queued)",
+	"net-drop":       "a frame was lost, never silently (arg0 channel/connection, arg1: 0 bounded queue full, 1 protocol error, 2 connection out of credits; arg2 depth or credits)",
+	"net-credit":     "a consumer returned a flow-control credit, reopening one window slot on its line (arg0 connection, arg1 credits after)",
+	"remote-seg":     "the inter-node channel moved segment words (arg0: 0 read served/returned, 1 copy; arg1 words, arg2 link channel)",
 }
 
 // kindNames lists every event kind the tracer can emit or filter on.

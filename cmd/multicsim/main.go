@@ -17,7 +17,9 @@ import (
 	"multics/internal/audit"
 	"multics/internal/core"
 	"multics/internal/directory"
+	"multics/internal/fnp"
 	"multics/internal/hw"
+	"multics/internal/netmux"
 	"multics/internal/schedsim"
 	"multics/internal/trace"
 	"multics/internal/uproc"
@@ -34,6 +36,8 @@ func main() {
 	runAudit := flag.Bool("audit", true, "run the invariant audit after the workload")
 	schedSeed := flag.Int64("sched-seed", 0, "when nonzero, run a multiprocessor storm under the deterministic executor with this schedule seed; a failure prints the seed that replays it")
 	storm := flag.Bool("storm", false, "drive a login/timesharing storm of -users users through the answering service instead of the scripted file workload")
+	connections := flag.Int("connections", 0, "when positive, attach the front-end communications processor and storm this many terminal connections through the demultiplexer")
+	slowConsumers := flag.Int("slow-consumers", 0, "connections (of -connections) whose consumers never return credits: their lines throttle and drop, everyone else keeps a full window")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -124,6 +128,16 @@ func main() {
 		}
 	}
 
+	if *connections > 0 {
+		if *slowConsumers < 0 || *slowConsumers > *connections {
+			fmt.Fprintln(os.Stderr, "multicsim: -slow-consumers must be between 0 and -connections")
+			os.Exit(2)
+		}
+		if err := runConnectionPlane(k, *connections, *slowConsumers); err != nil {
+			fatal("connection plane", err)
+		}
+	}
+
 	st := k.Frames.Stats()
 	fmt.Println("\nKernel statistics:")
 	fmt.Printf("    page faults serviced:     %d\n", st.Faults)
@@ -190,6 +204,54 @@ func runLoginStorm(k *core.Kernel, users int) error {
 	}
 	fmt.Printf("\nLogin storm: %d logins, %d logouts, %d quanta run, %d blocked, %d woken.\n",
 		st.Logins, st.Logouts, st.Quanta, st.Blocked, st.Woken)
+	return nil
+}
+
+// runConnectionPlane attaches the front-end communications processor
+// and storms frames through it: every connection receives a frame per
+// round, consumers drain the sharded table and return credits — except
+// the first `slow` lines, whose consumers never credit. Those lines
+// exhaust their windows and drop; every other line rides through
+// untouched. The statistics block shows the accounting.
+func runConnectionPlane(k *core.Kernel, conns, slow int) error {
+	node, err := k.AttachFNP(conns, 0)
+	if err != nil {
+		return err
+	}
+	terms := node.Terminals
+	const rounds = fnp.RingSlots + 2 // enough to overflow an uncredited window
+	for r := 0; r < rounds; r++ {
+		for id := 0; id < conns; id++ {
+			f := netmux.Frame{Channel: id, Payload: []hw.Word{hw.Word(r + 1), 0o777}}
+			if err := node.Mux.Deliver(k.CPUs[0], "front-end", f); err != nil {
+				return err
+			}
+		}
+		for sh := 0; sh < terms.Shards(); sh++ {
+			for {
+				d, ok := terms.Next(sh)
+				if !ok {
+					break
+				}
+				if d.Conn >= slow {
+					terms.Credit(d.Conn)
+				}
+			}
+		}
+	}
+	st := terms.Stats()
+	ms := node.Mux.MuxStats()
+	var slowDrops int64
+	for id := 0; id < slow; id++ {
+		slowDrops += terms.ConnStats(id).Drops
+	}
+	fmt.Println("\nConnection plane (front-end processor):")
+	fmt.Printf("    connections:              %d over %d shards (%d slow consumers)\n", conns, terms.Shards(), slow)
+	fmt.Printf("    frames accepted:          %d of %d offered\n", st.Frames, int64(conns)*rounds)
+	fmt.Printf("    frames dropped:           %d no-credit (%d on the slow lines), %d demux queue-full\n", st.Drops, slowDrops, ms.Dropped)
+	fmt.Printf("    delivered / credited:     %d / %d\n", st.Delivered, st.Credits)
+	fmt.Printf("    delivery latency:         p50 %d cyc, p99 %d cyc\n", terms.LatencyPercentile(50), terms.LatencyPercentile(99))
+	fmt.Printf("    demux:                    %d delivered, %d protocol errors\n", ms.Delivered, ms.ProtocolErrors)
 	return nil
 }
 

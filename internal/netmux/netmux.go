@@ -21,7 +21,14 @@ import (
 	"sync"
 
 	"multics/internal/hw"
+	"multics/internal/trace"
 )
+
+// ModuleName is the demultiplexer's name in kernel traces. The mux is
+// not a module of the Figure-4 lattice — it is the small kernel
+// residue Ciccarelli's redesign leaves behind — but its events carry
+// a registered name like every manager's.
+const ModuleName = "net-demux"
 
 // Mode selects the organization.
 type Mode int
@@ -95,6 +102,37 @@ type Delivery struct {
 	Data    []hw.Word
 }
 
+// DefaultQueueCap bounds each (network, channel) delivery queue. A
+// connection that stops receiving fills its own queue and loses its
+// own frames — counted, never silent — while every other channel of
+// the mux keeps flowing.
+const DefaultQueueCap = 64
+
+// Drop classes carried in EvNetDrop's Arg1.
+const (
+	// DropQueueFull: the channel's bounded delivery queue was full.
+	DropQueueFull = 0
+	// DropProtocol: the per-network protocol handler rejected the
+	// frame after the demux routed it.
+	DropProtocol = 1
+	// DropNoCredit: the connection was out of flow-control credits
+	// (emitted by the front-end processor, not the mux).
+	DropNoCredit = 2
+)
+
+// Stats are the mux's delivery counters.
+type Stats struct {
+	// Delivered counts frames handed to a connection (queued or
+	// consumed by a subscriber).
+	Delivered int64
+	// Dropped counts frames discarded because a channel's bounded
+	// delivery queue was full.
+	Dropped int64
+	// ProtocolErrors counts frames the per-network protocol handler
+	// rejected — work that was metered but produced no delivery.
+	ProtocolErrors int64
+}
+
 // A Mux is the multiplexed-stream attachment point.
 type Mux struct {
 	Mode  Mode
@@ -103,9 +141,18 @@ type Mux struct {
 	mu       sync.Mutex
 	networks map[string]Network
 	order    []string
-	// queues hold delivered data per (network, channel).
-	queues    map[string]map[int][]Delivery
+	// queues hold delivered data per (network, channel), each bounded
+	// by queueCap.
+	queues map[string]map[int][]Delivery
+	// subs are per-network delivery subscribers: when set, deliveries
+	// bypass the queues and go straight to the consumer (the
+	// front-end processor's connection plane).
+	subs      map[string]func(Delivery)
+	queueCap  int
 	delivered int64
+	dropped   int64
+	protoErrs int64
+	trace     trace.Sink
 }
 
 // New returns a mux in the given organization.
@@ -115,7 +162,48 @@ func New(mode Mode, meter *hw.CostMeter) *Mux {
 		meter:    meter,
 		networks: make(map[string]Network),
 		queues:   make(map[string]map[int][]Delivery),
+		subs:     make(map[string]func(Delivery)),
+		queueCap: DefaultQueueCap,
 	}
+}
+
+// SetTrace routes the mux's frame and drop events to s (nil turns
+// tracing off). Events carry ModuleName; register it with the
+// recorder.
+func (m *Mux) SetTrace(s trace.Sink) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trace = s
+}
+
+// SetQueueCap rebounds the per-channel delivery queues (non-positive
+// restores DefaultQueueCap). Existing queued deliveries are kept even
+// if they exceed the new bound.
+func (m *Mux) SetQueueCap(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= 0 {
+		n = DefaultQueueCap
+	}
+	m.queueCap = n
+}
+
+// Subscribe registers fn as the network's delivery consumer:
+// deliveries for that network are handed to fn instead of the
+// per-channel queues, so a connection plane can route them without
+// double buffering. One subscriber per network; fn runs without the
+// mux lock held.
+func (m *Mux) Subscribe(network string, fn func(Delivery)) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.networks[network]; !ok {
+		return fmt.Errorf("netmux: no network %s", network)
+	}
+	if m.subs[network] != nil {
+		return fmt.Errorf("netmux: network %s already subscribed", network)
+	}
+	m.subs[network] = fn
+	return nil
 }
 
 // Attach connects a network to the system.
@@ -161,9 +249,11 @@ func (m *Mux) Deliver(cpu *hw.Processor, network string, f Frame) error {
 	}
 	var data []hw.Word
 	var err error
+	var kernelCost int64
 	switch m.Mode {
 	case PerNetworkKernel:
 		// Everything in ring zero: one handler per network.
+		kernelCost = bodyProtocol
 		err = m.gate(cpu, func() error {
 			m.meter.AddBody(bodyProtocol, hw.PLI)
 			data, err = n.Process(f)
@@ -172,6 +262,7 @@ func (m *Mux) Deliver(cpu *hw.Processor, network string, f Frame) error {
 	case GenericKernel:
 		// The kernel routes; the protocol runs as user code, then
 		// hands the connection data back through a gate.
+		kernelCost = bodyDemux
 		if gerr := m.gate(cpu, func() error {
 			m.meter.AddBody(bodyDemux, hw.PLI)
 			return nil
@@ -182,13 +273,60 @@ func (m *Mux) Deliver(cpu *hw.Processor, network string, f Frame) error {
 		data, err = n.Process(f)
 	}
 	if err != nil {
+		// The frame's cost is already on the meter (the demux routed
+		// it and the protocol body ran before rejecting); count and
+		// trace the failure so the spent cycles are attributable
+		// rather than vanishing with the error return.
+		m.mu.Lock()
+		m.protoErrs++
+		sink := m.trace
+		m.mu.Unlock()
+		if sink != nil {
+			sink.Emit(trace.Event{
+				Kind: trace.EvNetDrop, Module: ModuleName, Cost: kernelCost,
+				Arg0: int64(f.Channel), Arg1: DropProtocol, Arg2: int64(len(f.Payload)),
+			})
+		}
 		return err
 	}
+	d := Delivery{Network: network, Channel: f.Channel, Data: data}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	q := m.queues[network]
-	q[f.Channel] = append(q[f.Channel], Delivery{Network: network, Channel: f.Channel, Data: data})
+	sub := m.subs[network]
+	sink := m.trace
+	if sub == nil {
+		q := m.queues[network]
+		if len(q[f.Channel]) >= m.queueCap {
+			// The channel's consumer fell behind: its own queue is
+			// full, its own frame is lost. Other channels are
+			// untouched — per-connection isolation is the point.
+			m.dropped++
+			depth := len(q[f.Channel])
+			m.mu.Unlock()
+			if sink != nil {
+				sink.Emit(trace.Event{
+					Kind: trace.EvNetDrop, Module: ModuleName, Cost: kernelCost,
+					Arg0: int64(f.Channel), Arg1: DropQueueFull, Arg2: int64(depth),
+				})
+			}
+			return nil
+		}
+		q[f.Channel] = append(q[f.Channel], d)
+	}
 	m.delivered++
+	m.mu.Unlock()
+	if sink != nil {
+		consumed := int64(0)
+		if sub != nil {
+			consumed = 1
+		}
+		sink.Emit(trace.Event{
+			Kind: trace.EvNetFrame, Module: ModuleName, Cost: kernelCost,
+			Arg0: int64(f.Channel), Arg1: int64(len(data)), Arg2: consumed,
+		})
+	}
+	if sub != nil {
+		sub(d)
+	}
 	return nil
 }
 
@@ -217,6 +355,13 @@ func (m *Mux) Delivered() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.delivered
+}
+
+// MuxStats reports the delivery counters.
+func (m *Mux) MuxStats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Delivered: m.delivered, Dropped: m.dropped, ProtocolErrors: m.protoErrs}
 }
 
 // Arpanet is a simulated ARPANET attachment: frames carry a host-link
@@ -268,4 +413,34 @@ func (t FrontEnd) Process(f Frame) ([]hw.Word, error) {
 		return nil, errors.New("front-end: unterminated block")
 	}
 	return f.Payload[:len(f.Payload)-1], nil
+}
+
+// InternodeOps bounds the internode opcode word; Internode rejects
+// frames whose leading word is not a known operation.
+const InternodeOps = 4
+
+// Internode is the kernel-to-kernel stream: frames carry a leading
+// operation word and an operation-specific body, and the protocol
+// work is only validating the header — the segment machinery on the
+// serving node does the rest, behind its own gate.
+type Internode struct {
+	Links int
+}
+
+// Name implements Network.
+func (i Internode) Name() string { return "internode" }
+
+// Channels implements Network.
+func (i Internode) Channels() int { return i.Links }
+
+// Process validates the operation header and passes the frame
+// through.
+func (i Internode) Process(f Frame) ([]hw.Word, error) {
+	if len(f.Payload) == 0 {
+		return nil, errors.New("internode: empty frame")
+	}
+	if op := f.Payload[0]; op >= InternodeOps {
+		return nil, fmt.Errorf("internode: unknown operation %d", uint64(op))
+	}
+	return f.Payload, nil
 }

@@ -2,9 +2,12 @@ package netmux
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"multics/internal/hw"
+	"multics/internal/trace"
 )
 
 func arpaFrame(channel int, words ...hw.Word) Frame {
@@ -158,5 +161,252 @@ func TestModeNames(t *testing.T) {
 	}
 	if (Arpanet{}).Name() != "arpanet" || (FrontEnd{}).Name() != "front-end" {
 		t.Error("network names wrong")
+	}
+}
+
+// recordSink collects emitted events for assertions.
+type recordSink struct {
+	mu     sync.Mutex
+	events []trace.Event
+}
+
+func (r *recordSink) Emit(e trace.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func (r *recordSink) byKind(k trace.Kind) []trace.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []trace.Event
+	for _, e := range r.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestErrorPathsAreCountedAndTraced(t *testing.T) {
+	for _, mode := range []Mode{PerNetworkKernel, GenericKernel} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, _ := newMux(t, mode)
+			sink := &recordSink{}
+			m.SetTrace(sink)
+			// ErrBadChannel: rejected before any protocol work, so no
+			// protocol-error counter moves.
+			if err := m.Deliver(nil, "arpanet", arpaFrame(99, 1)); !errors.Is(err, ErrBadChannel) {
+				t.Fatalf("bad channel = %v", err)
+			}
+			if st := m.MuxStats(); st.ProtocolErrors != 0 {
+				t.Fatalf("bad channel counted as protocol error: %+v", st)
+			}
+			// Arpanet parity mismatch.
+			if err := m.Deliver(nil, "arpanet", Frame{Channel: 0, Payload: []hw.Word{0, 99}}); err == nil {
+				t.Fatal("parity mismatch accepted")
+			}
+			// Front-end unterminated block.
+			if err := m.Deliver(nil, "front-end", Frame{Channel: 0, Payload: []hw.Word{'x'}}); err == nil {
+				t.Fatal("unterminated block accepted")
+			}
+			st := m.MuxStats()
+			if st.ProtocolErrors != 2 {
+				t.Fatalf("ProtocolErrors = %d, want 2", st.ProtocolErrors)
+			}
+			if st.Delivered != 0 || st.Dropped != 0 {
+				t.Fatalf("stats moved unexpectedly: %+v", st)
+			}
+			drops := sink.byKind(trace.EvNetDrop)
+			if len(drops) != 2 {
+				t.Fatalf("EvNetDrop events = %d, want 2", len(drops))
+			}
+			for _, e := range drops {
+				if e.Arg1 != DropProtocol {
+					t.Errorf("drop class = %d, want DropProtocol", e.Arg1)
+				}
+				if e.Module != ModuleName {
+					t.Errorf("drop module = %q", e.Module)
+				}
+				if e.Cost == 0 {
+					t.Error("protocol failure traced with zero cost: the metered work is invisible")
+				}
+			}
+		})
+	}
+}
+
+func TestGenericProtocolFailureIsMetered(t *testing.T) {
+	// The satellite fix: a Process failure after the demux gate must
+	// leave its cost on the meter (demux + protocol body), not vanish
+	// with the early return.
+	m, meter := newMux(t, GenericKernel)
+	meter.Reset()
+	before := meter.Cycles()
+	if err := m.Deliver(nil, "front-end", Frame{Channel: 0, Payload: []hw.Word{'x'}}); err == nil {
+		t.Fatal("unterminated block accepted")
+	}
+	spent := meter.Cycles() - before
+	if spent == 0 {
+		t.Fatal("protocol failure cost nothing: the demux and protocol work disappeared")
+	}
+}
+
+func TestBoundedQueueDropsAreCounted(t *testing.T) {
+	m, _ := newMux(t, GenericKernel)
+	sink := &recordSink{}
+	m.SetTrace(sink)
+	m.SetQueueCap(3)
+	for i := 0; i < 5; i++ {
+		if err := m.Deliver(nil, "front-end", feFrame(1, hw.Word(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.MuxStats()
+	if st.Delivered != 3 || st.Dropped != 2 {
+		t.Fatalf("delivered/dropped = %d/%d, want 3/2", st.Delivered, st.Dropped)
+	}
+	// The slow channel lost its own frames; another channel of the
+	// same network is untouched.
+	if err := m.Deliver(nil, "front-end", feFrame(2, 'o', 'k')); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Receive("front-end", 2); !ok {
+		t.Fatal("healthy channel starved by a neighbor's overflow")
+	}
+	if got := len(sink.byKind(trace.EvNetDrop)); got != 2 {
+		t.Fatalf("EvNetDrop events = %d, want 2", got)
+	}
+	for _, e := range sink.byKind(trace.EvNetDrop) {
+		if e.Arg1 != DropQueueFull {
+			t.Errorf("drop class = %d, want DropQueueFull", e.Arg1)
+		}
+	}
+	// Draining the queue reopens the channel.
+	for i := 0; i < 3; i++ {
+		if _, ok := m.Receive("front-end", 1); !ok {
+			t.Fatalf("queued delivery %d missing", i)
+		}
+	}
+	if err := m.Deliver(nil, "front-end", feFrame(1, 'y')); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Receive("front-end", 1); !ok {
+		t.Fatal("channel still dead after drain")
+	}
+}
+
+func TestSubscriberBypassesQueues(t *testing.T) {
+	m, _ := newMux(t, GenericKernel)
+	var got []Delivery
+	if err := m.Subscribe("front-end", func(d Delivery) { got = append(got, d) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Subscribe("front-end", func(Delivery) {}); err == nil {
+		t.Fatal("double subscribe succeeded")
+	}
+	if err := m.Subscribe("nonet", func(Delivery) {}); err == nil {
+		t.Fatal("subscribe to unattached network succeeded")
+	}
+	if err := m.Deliver(nil, "front-end", feFrame(3, 'a', 'b')); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Channel != 3 || len(got[0].Data) != 2 {
+		t.Fatalf("subscriber saw %+v", got)
+	}
+	if _, ok := m.Receive("front-end", 3); ok {
+		t.Fatal("subscribed delivery also queued")
+	}
+	if m.Delivered() != 1 {
+		t.Fatalf("Delivered = %d", m.Delivered())
+	}
+}
+
+// TestConcurrentDeliverReceiveStorm hammers Deliver and Receive from
+// many goroutines under -race: every frame is either received or
+// counted dropped, never lost silently.
+func TestConcurrentDeliverReceiveStorm(t *testing.T) {
+	m, _ := newMux(t, GenericKernel)
+	m.SetQueueCap(8)
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 500
+		channels  = 8
+	)
+	var wg sync.WaitGroup
+	var received atomic.Int64
+	stop := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				got := false
+				for ch := c % channels; ch < channels; ch += consumers {
+					if _, ok := m.Receive("front-end", ch); ok {
+						received.Add(1)
+						got = true
+					}
+				}
+				if !got {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}
+		}(c)
+	}
+	var deliverErrs atomic.Int64
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				f := feFrame(i%channels, hw.Word(p), hw.Word(i))
+				if err := m.Deliver(nil, "front-end", f); err != nil {
+					deliverErrs.Add(1)
+				}
+			}
+		}(p)
+	}
+	// Wait for producers, then let consumers drain what remains.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			goto drained
+		default:
+		}
+		st := m.MuxStats()
+		if st.Delivered+st.Dropped >= producers*perProd {
+			break
+		}
+	}
+drained:
+	close(stop)
+	<-done
+	// Final drain on the main goroutine.
+	for ch := 0; ch < channels; ch++ {
+		for {
+			if _, ok := m.Receive("front-end", ch); !ok {
+				break
+			}
+			received.Add(1)
+		}
+	}
+	if deliverErrs.Load() != 0 {
+		t.Fatalf("%d well-formed frames rejected", deliverErrs.Load())
+	}
+	st := m.MuxStats()
+	total := int64(producers * perProd)
+	if st.Delivered+st.Dropped != total {
+		t.Fatalf("delivered %d + dropped %d != %d sent", st.Delivered, st.Dropped, total)
+	}
+	if received.Load() != st.Delivered {
+		t.Fatalf("received %d != delivered %d: frames lost silently", received.Load(), st.Delivered)
 	}
 }

@@ -148,9 +148,27 @@ const (
 	// 0 the speculative transfer faulted, 1 the entry went stale, 2
 	// the frame was stolen back by the second-chance clock).
 	EvPrefetchDrop
+	// EvNetFrame: a frame was demultiplexed and handed to its
+	// connection (Arg0 the channel or connection id, Arg1 the payload
+	// words, Arg2 1 when a subscriber consumed it directly, 0 when it
+	// was queued).
+	EvNetFrame
+	// EvNetDrop: a frame was discarded instead of delivered (Arg0
+	// the channel or connection id, Arg1 the drop class: 0 a full
+	// delivery queue, 1 a protocol failure, 2 a connection out of
+	// credits; Arg2 the queue depth or credit count at the drop).
+	EvNetDrop
+	// EvNetCredit: a consumer returned one flow-control credit to its
+	// connection (Arg0 the connection id, Arg1 the credits available
+	// after the return).
+	EvNetCredit
+	// EvRemoteSeg: one remote segment operation crossed the
+	// inter-node channel (Arg0 the operation: 0 a read, 1 a copy;
+	// Arg1 the words moved, Arg2 the serving-side channel).
+	EvRemoteSeg
 
 	// NumKinds is the size of per-kind counter arrays.
-	NumKinds = int(EvPrefetchDrop) + 1
+	NumKinds = int(EvRemoteSeg) + 1
 )
 
 var kindNames = [NumKinds]string{
@@ -160,7 +178,8 @@ var kindNames = [NumKinds]string{
 	"fault-injected", "salvage-repair", "assoc-hit", "assoc-miss",
 	"assoc-clear", "write-error", "retry-pressure", "sched-steal",
 	"sched-migrate", "sched-donate", "disk-queue", "prefetch-issue",
-	"prefetch-hit", "prefetch-drop",
+	"prefetch-hit", "prefetch-drop", "net-frame", "net-drop",
+	"net-credit", "remote-seg",
 }
 
 func (k Kind) String() string {

@@ -54,6 +54,19 @@ func Boot(cfg Config) (*Kernel, error) { return core.Boot(cfg) }
 // DefaultConfig returns a small, fully functional machine.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
+// NetNode is one kernel's attachment to the network plane: the
+// generic demultiplexer, the front-end connection plane, and the
+// internode connection table.
+type NetNode = core.NetNode
+
+// Link is a one-way inter-node segment channel between two attached
+// nodes.
+type Link = core.Link
+
+// Connect wires the inter-node channel between two attached nodes and
+// creates the serving process on the remote one.
+func Connect(local, remote *NetNode) (*Link, error) { return core.Connect(local, remote) }
+
 // Baseline is a booted 1974-structure supervisor.
 type Baseline = baseline.Supervisor
 

@@ -15,7 +15,9 @@ import (
 	"multics/internal/aim"
 	"multics/internal/answering"
 	"multics/internal/directory"
+	"multics/internal/fnp"
 	"multics/internal/hw"
+	"multics/internal/netmux"
 	"multics/internal/schedsim"
 	"multics/internal/trace"
 	"multics/internal/uproc"
@@ -166,6 +168,95 @@ var traceWorkloads = []struct {
 				if err := k.Write(cpu, p, segno, i*hw.PageWords, hw.Word(i+100)); err != nil {
 					t.Fatal(err)
 				}
+			}
+		},
+	},
+	{
+		// Two booted kernels joined by the inter-node channel. The
+		// traced kernel's side of a remote segment read and copy — the
+		// demux crossings, the internode connection table's frame and
+		// credit events, and the local write faults of the copy — must
+		// replay byte-identically, as must a burst of terminal frames
+		// through the front-end connection plane.
+		name: "remote-segment",
+		run: func(t *testing.T, k *Kernel) {
+			node, err := k.AttachFNP(16, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The second node is untraced scaffolding: it publishes a
+			// file the traced node pulls across the link.
+			rcfg := DefaultConfig()
+			rcfg.RootQuota = 10000
+			rk, err := Boot(rcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remote, err := rk.AttachFNP(16, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			link, err := Connect(node, remote)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := rk.CreateProcess("pub.x", Bottom)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rcpu := rk.CPUs[0]
+			rk.Attach(rcpu, rp)
+			if _, err := rk.CreateFile(rcpu, rp, nil, "published", Public(Read|Write), Bottom); err != nil {
+				t.Fatal(err)
+			}
+			rseg, err := rk.OpenPath(rcpu, rp, []string{"published"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 32
+			for i := 0; i < n; i++ {
+				if err := rk.Write(rcpu, rp, rseg, i, hw.Word(0o400*i+3)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := link.RemoteRead([]string{"published"}, 0, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != hw.Word(0o400*i+3) {
+					t.Fatalf("remote read word %d = %o, want %o", i, got[i], 0o400*i+3)
+				}
+			}
+			cpu, p := traceProcess(t, k)
+			segno := traceFile(t, k, p, nil, "mirror")
+			moved, err := link.RemoteCopy(cpu, p, []string{"published"}, 0, n, segno, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if moved != n {
+				t.Fatalf("copied %d words, want %d", moved, n)
+			}
+			for i := 0; i < n; i++ {
+				w, err := k.Read(cpu, p, segno, i)
+				if err != nil || w != hw.Word(0o400*i+3) {
+					t.Fatalf("copied word %d = %o (%v), want %o", i, w, err, 0o400*i+3)
+				}
+			}
+			// A burst of terminal frames through the traced node's
+			// front-end plane: frame, delivery and credit events.
+			for i := 0; i < 6; i++ {
+				f := netmux.Frame{Channel: i, Payload: []hw.Word{hw.Word(i + 1), 0o777}}
+				if err := node.Mux.Deliver(nil, "front-end", f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			seen := 0
+			for sh := 0; sh < node.Terminals.Shards(); sh++ {
+				node.Terminals.Drain(sh, func(fnp.Delivery) { seen++ })
+			}
+			if seen != 6 {
+				t.Fatalf("drained %d terminal frames, want 6", seen)
 			}
 		},
 	},
